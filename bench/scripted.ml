@@ -1,0 +1,52 @@
+(* The scripted adversarial fair-run prefix showing that the Mdistinct
+   (absence) strategy is unsound for win-move: node 110 becomes complete
+   on the induced subgame {Move(1,2), Move(4,4)} while the message
+   carrying Move(2,3) is still in flight, and outputs Win(1) — wrong in
+   the full game, where 2 wins via 3 and 1 therefore loses. Used by
+   experiment E10. *)
+
+open Relational
+open Queries
+
+let absence_winmove_wrong_output () =
+  let v = Value.int in
+  let net = Distributed.network_of_ints [ 110; 220 ] in
+  let input =
+    Instance.of_strings [ "Move(1,2)"; "Move(2,3)"; "Move(4,4)" ]
+  in
+  let t = Strategies.Absence.transducer Zoo.winmove in
+  let move_schema = Zoo.winmove.Query.input in
+  let base = Network.Policy.single move_schema net (v 110) in
+  let policy =
+    Network.Policy.override ~name:"split"
+      ~on:(fun f -> Value.equal (Fact.arg f 0) (v 2))
+      ~to_:[ v 220 ] base
+  in
+  let step config node deliver =
+    fst
+      (Network.Config.transition ~variant:Network.Config.policy_aware ~policy
+         ~transducer:t ~input config ~node ~deliver)
+  in
+  let abs args = Fact.make "AbsMsg_Move" (List.map v args) in
+  let c = step (Network.Config.start net) (v 110) Multiset.empty in
+  let teach = Multiset.of_list [ abs [ 1; 1 ]; abs [ 1; 4 ] ] in
+  if not (Multiset.sub teach (Network.Config.buffer_of c (v 220))) then None
+  else
+    let c = step c (v 220) teach in
+    let certs =
+      Multiset.of_list
+        [
+          abs [ 2; 1 ]; abs [ 2; 2 ]; abs [ 2; 4 ]; abs [ 2; 110 ];
+          abs [ 2; 220 ];
+        ]
+    in
+    if not (Multiset.sub certs (Network.Config.buffer_of c (v 110))) then None
+    else
+      let c = step c (v 110) certs in
+      let out =
+        Network.Config.outputs t.Network.Transducer.schema c
+      in
+      let expected = Query.apply Zoo.winmove input in
+      Instance.to_list (Instance.diff out expected) |> function
+      | f :: _ -> Some f
+      | [] -> None

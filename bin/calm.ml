@@ -1,0 +1,387 @@
+(* calm — command-line driver for the library.
+
+   Subcommands:
+     calm eval      evaluate a Datalog¬ program on an input instance
+     calm classify  syntactic fragment + CALM level + empirical placement
+     calm check     monotonicity-class membership with explicit bounds
+     calm simulate  compile to a coordination-free transducer and run it
+                    on a simulated asynchronous network
+
+   Programs use the conventional syntax (see lib/datalog/parser.mli);
+   facts are given as 'E(1,2). E(2,3)'. *)
+
+open Relational
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Shared argument plumbing *)
+
+let read_file f =
+  let ic = open_in f in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let program_src_term =
+  let program =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "program"; "p" ] ~docv:"RULES" ~doc:"Program text.")
+  in
+  let file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "file"; "f" ] ~docv:"FILE" ~doc:"Program file.")
+  in
+  let combine program file =
+    match (program, file) with
+    | Some s, None -> `Ok s
+    | None, Some f -> `Ok (read_file f)
+    | None, None -> `Error (false, "one of --program or --file is required")
+    | Some _, Some _ -> `Error (false, "give only one of --program, --file")
+  in
+  Term.(ret (const combine $ program $ file))
+
+let outputs_term =
+  Arg.(
+    value
+    & opt (list string) [ "O" ]
+    & info [ "outputs"; "o" ] ~docv:"RELS" ~doc:"Output relations.")
+
+let semantics_term =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("stratified", Datalog.Program.Stratified);
+             ("well-founded", Datalog.Program.Well_founded);
+           ])
+        Datalog.Program.Stratified
+    & info [ "semantics" ] ~docv:"SEM" ~doc:"stratified or well-founded.")
+
+let facts_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "facts"; "i" ] ~docv:"FACTS" ~doc:"Input facts, e.g. 'E(1,2). E(2,3)'.")
+
+let facts_file_term =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "facts-file" ] ~docv:"FILE" ~doc:"File of input facts.")
+
+let parse_facts s =
+  s
+  |> String.split_on_char '.'
+  |> List.filter_map (fun part ->
+         let part = String.trim part in
+         if part = "" then None else Some (Fact.of_string part))
+  |> Instance.of_list
+
+let default_input schema =
+  List.fold_left
+    (fun acc (name, ar) ->
+      List.fold_left
+        (fun acc k ->
+          Instance.add
+            (Fact.make name (List.init ar (fun i -> Value.Int (k + i))))
+            acc)
+        acc [ 1; 2; 3 ])
+    Instance.empty
+    (Schema.relations schema)
+
+let resolve_input schema facts facts_file =
+  match (facts, facts_file) with
+  | Some s, _ -> parse_facts s
+  | None, Some f -> parse_facts (read_file f)
+  | None, None -> default_input schema
+
+let load_program ~outputs ~semantics src =
+  try Datalog.Program.parse ~outputs ~semantics src with
+  | Datalog.Parser.Syntax_error { line; message } ->
+    Printf.eprintf "syntax error (line %d): %s\n" line message;
+    exit 1
+  | Invalid_argument msg ->
+    Printf.eprintf "invalid program: %s\n" msg;
+    exit 1
+
+(* Like {!load_program} but falls back to the well-founded semantics for
+   unstratifiable programs (win-move!). *)
+let load_program_any ~outputs src =
+  match Datalog.Program.parse ~outputs ~semantics:Datalog.Program.Stratified src with
+  | p -> p
+  | exception Invalid_argument _ ->
+    Printf.eprintf "(not stratifiable; using well-founded semantics)\n";
+    load_program ~outputs ~semantics:Datalog.Program.Well_founded src
+  | exception Datalog.Parser.Syntax_error { line; message } ->
+    Printf.eprintf "syntax error (line %d): %s\n" line message;
+    exit 1
+
+(* ------------------------------------------------------------------ *)
+(* calm eval *)
+
+let eval_cmd =
+  let run src outputs semantics facts facts_file =
+    let program = load_program ~outputs ~semantics src in
+    let input = resolve_input (Datalog.Program.input_schema program) facts facts_file in
+    let out = Datalog.Program.run program input in
+    Printf.printf "input  (%d facts): %s\n" (Instance.cardinal input)
+      (Instance.to_string input);
+    Printf.printf "output (%d facts): %s\n" (Instance.cardinal out)
+      (Instance.to_string out)
+  in
+  Cmd.v
+    (Cmd.info "eval" ~doc:"evaluate a Datalog¬ program on an input instance")
+    Term.(
+      const run $ program_src_term $ outputs_term $ semantics_term
+      $ facts_term $ facts_file_term)
+
+(* ------------------------------------------------------------------ *)
+(* calm classify *)
+
+let bounds_term =
+  let dom =
+    Arg.(value & opt int 3 & info [ "dom" ] ~doc:"Base-domain size for checks.")
+  in
+  let fresh = Arg.(value & opt int 2 & info [ "fresh" ] ~doc:"Fresh values.") in
+  let base =
+    Arg.(value & opt int 3 & info [ "max-base" ] ~doc:"Max base facts.")
+  in
+  let ext =
+    Arg.(value & opt int 2 & info [ "max-ext" ] ~doc:"Max extension facts.")
+  in
+  let mk dom_size fresh max_base max_ext =
+    { Monotone.Checker.dom_size; fresh; max_base; max_ext }
+  in
+  Term.(const mk $ dom $ fresh $ base $ ext)
+
+let classify_cmd =
+  let run src outputs bounds =
+    let program = load_program_any ~outputs src in
+    let fragment = Datalog.Program.fragment program in
+    Printf.printf "fragment:        %s\n" (Datalog.Fragment.to_string fragment);
+    Printf.printf "connectivity:    %s\n"
+      (Datalog.Connectivity.explain program.Datalog.Program.rules);
+    let syntactic = Calm_core.Hierarchy.of_fragment fragment in
+    Printf.printf "syntactic level: %s (class %s; model %s; fragment %s)\n"
+      (Calm_core.Hierarchy.to_string syntactic)
+      (Calm_core.Hierarchy.monotonicity_class syntactic)
+      (Calm_core.Hierarchy.transducer_model syntactic)
+      (Calm_core.Hierarchy.datalog_fragment syntactic);
+    let q = Datalog.Program.query ~name:"program" program in
+    let empirical = Calm_core.Hierarchy.place_empirically ~bounds q in
+    Printf.printf "empirical level: %s (bounded: dom %d, fresh %d, base %d, ext %d)\n"
+      (Calm_core.Hierarchy.to_string empirical)
+      bounds.Monotone.Checker.dom_size bounds.Monotone.Checker.fresh
+      bounds.Monotone.Checker.max_base bounds.Monotone.Checker.max_ext;
+    let points = Datalog.Points_of_order.analyze program.Datalog.Program.rules in
+    Printf.printf "points of order: %d — %s\n" (List.length points)
+      (Datalog.Points_of_order.coordination_level program.Datalog.Program.rules);
+    List.iter
+      (fun pt -> Format.printf "  %a@." Datalog.Points_of_order.pp_point pt)
+      points
+  in
+  Cmd.v
+    (Cmd.info "classify"
+       ~doc:"place a program in the refined CALM hierarchy")
+    Term.(const run $ program_src_term $ outputs_term $ bounds_term)
+
+(* ------------------------------------------------------------------ *)
+(* calm check *)
+
+let check_cmd =
+  let kind_term =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("plain", Monotone.Classes.Plain);
+               ("distinct", Monotone.Classes.Distinct);
+               ("disjoint", Monotone.Classes.Disjoint);
+             ])
+          Monotone.Classes.Plain
+      & info [ "class" ] ~docv:"KIND" ~doc:"plain, distinct, or disjoint.")
+  in
+  let run src outputs kind bounds =
+    let program = load_program_any ~outputs src in
+    let q = Datalog.Program.query ~name:"program" program in
+    match Monotone.Checker.check_exhaustive ~bounds kind q with
+    | Monotone.Checker.No_violation { pairs } ->
+      Printf.printf "%s-monotonicity holds on all %d admissible pairs within bounds\n"
+        (Monotone.Classes.kind_to_string kind)
+        pairs
+    | Monotone.Checker.Violated v ->
+      Format.printf "%a@." Monotone.Classes.pp_violation v;
+      exit 2
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"bounded-exhaustive monotonicity-class membership check")
+    Term.(const run $ program_src_term $ outputs_term $ kind_term $ bounds_term)
+
+(* ------------------------------------------------------------------ *)
+(* calm simulate *)
+
+let simulate_cmd =
+  let nodes_term =
+    Arg.(value & opt int 3 & info [ "nodes"; "n" ] ~doc:"Network size.")
+  in
+  let scheduler_term =
+    Arg.(
+      value
+      & opt
+          (enum [ ("round-robin", `Rr); ("random", `Rand); ("stingy", `Stingy) ])
+          `Rr
+      & info [ "scheduler"; "s" ] ~docv:"SCHED"
+          ~doc:"round-robin, random, or stingy.")
+  in
+  let seed_term =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Scheduler seed.")
+  in
+  let run src outputs facts facts_file nodes scheduler seed =
+    let program = load_program_any ~outputs src in
+    let input = resolve_input (Datalog.Program.input_schema program) facts facts_file in
+    let compiled =
+      try Calm_core.Compile.compile_program program
+      with Invalid_argument msg ->
+        Printf.eprintf "cannot compile: %s\n" msg;
+        exit 1
+    in
+    Printf.printf "compiled at level %s (%s strategy)\n"
+      (Calm_core.Hierarchy.to_string compiled.Calm_core.Compile.level)
+      (Calm_core.Hierarchy.transducer_model compiled.Calm_core.Compile.level);
+    let network =
+      Distributed.network_of_ints (List.init (max nodes 1) (fun i -> 1 + i))
+    in
+    let schema = compiled.Calm_core.Compile.query.Query.input in
+    let policy =
+      if compiled.Calm_core.Compile.domain_guided_only then
+        Network.Policy.hash_value schema network
+      else Network.Policy.hash_fact schema network
+    in
+    let sched =
+      match scheduler with
+      | `Rr -> Network.Run.Round_robin
+      | `Rand -> Network.Run.Random { seed; steps = 50 * nodes }
+      | `Stingy -> Network.Run.Stingy { seed; steps = 80 * nodes }
+    in
+    let result =
+      Network.Run.run ~variant:compiled.Calm_core.Compile.variant ~policy
+        ~transducer:compiled.Calm_core.Compile.transducer ~input sched
+    in
+    let expected = Datalog.Program.run program input in
+    Printf.printf
+      "nodes=%d policy=%s quiesced=%b transitions=%d messages=%d\n" nodes
+      (Network.Policy.name policy) result.Network.Run.quiesced
+      result.Network.Run.transitions result.Network.Run.messages_sent;
+    Printf.printf "distributed output matches centralized: %b\n"
+      (Instance.equal result.Network.Run.outputs expected);
+    Printf.printf "output: %s\n" (Instance.to_string result.Network.Run.outputs);
+    match
+      Network.Coordination.heartbeat_witness
+        ~variant:compiled.Calm_core.Compile.variant
+        ~transducer:compiled.Calm_core.Compile.transducer
+        ~query:compiled.Calm_core.Compile.query ~input network
+    with
+    | Some w ->
+      Printf.printf
+        "coordination-freeness witness: node %s, %d heartbeats, 0 messages read\n"
+        (Value.to_string w.Network.Coordination.node)
+        w.Network.Coordination.result.Network.Run.transitions
+    | None -> print_endline "no heartbeat witness found"
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"compile and run a program on a simulated asynchronous network")
+    Term.(
+      const run $ program_src_term $ outputs_term $ facts_term
+      $ facts_file_term $ nodes_term $ scheduler_term $ seed_term)
+
+(* ------------------------------------------------------------------ *)
+(* calm graph *)
+
+let graph_cmd =
+  let run src outputs =
+    let program = load_program_any ~outputs src in
+    print_endline (Datalog.Depgraph.to_dot program.Datalog.Program.rules)
+  in
+  Cmd.v
+    (Cmd.info "graph"
+       ~doc:"print the predicate dependency graph as graphviz DOT")
+    Term.(const run $ program_src_term $ outputs_term)
+
+(* ------------------------------------------------------------------ *)
+(* calm figure2 *)
+
+let figure2_cmd =
+  let run () = print_string (Calm_core.Figure2.render ()) in
+  Cmd.v
+    (Cmd.info "figure2"
+       ~doc:"print the paper's results figure with experiment evidence")
+    Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* calm explore *)
+
+let explore_cmd =
+  let budget_term =
+    Arg.(
+      value & opt int 20_000
+      & info [ "budget" ] ~doc:"Maximum configurations to explore.")
+  in
+  let run src outputs facts facts_file budget =
+    let program = load_program_any ~outputs src in
+    let input =
+      resolve_input (Datalog.Program.input_schema program) facts facts_file
+    in
+    let compiled =
+      try Calm_core.Compile.compile_program program
+      with Invalid_argument msg ->
+        Printf.eprintf "cannot compile: %s\n" msg;
+        exit 1
+    in
+    let network = Distributed.network_of_ints [ 1; 2 ] in
+    let schema = compiled.Calm_core.Compile.query.Query.input in
+    let policy =
+      if compiled.Calm_core.Compile.domain_guided_only then
+        Network.Policy.hash_value schema network
+      else Network.Policy.hash_fact schema network
+    in
+    Printf.printf
+      "model-checking every message order on a 2-node network (budget %d)...\n"
+      budget;
+    let verdict =
+      Network.Explore.check ~max_configs:budget
+        ~variant:compiled.Calm_core.Compile.variant ~policy
+        ~transducer:compiled.Calm_core.Compile.transducer
+        ~query:compiled.Calm_core.Compile.query ~input ()
+    in
+    print_endline (Network.Explore.verdict_to_string verdict)
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "exhaustively verify the compiled strategy under every message \
+          order (tiny inputs)")
+    Term.(
+      const run $ program_src_term $ outputs_term $ facts_term
+      $ facts_file_term $ budget_term)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let doc = "weaker forms of monotonicity for declarative networking" in
+  let info = Cmd.info "calm" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            eval_cmd; classify_cmd; check_cmd; simulate_cmd; explore_cmd;
+            graph_cmd; figure2_cmd;
+          ]))

@@ -1,0 +1,10 @@
+(** The paper's primary contribution as a library: the refined CALM
+    hierarchy (weaker monotonicity classes ↔ coordination-free transducer
+    models ↔ Datalog fragments), a compiler from queries to
+    coordination-free transducers, and verification helpers. *)
+
+module Hierarchy = Hierarchy
+module Figure2 = Figure2
+module Compile = Compile
+module Verify = Verify
+module Report = Report

@@ -1,0 +1,45 @@
+open Relational
+
+type compiled = {
+  level : Hierarchy.level;
+  query : Query.t;
+  transducer : Network.Transducer.t;
+  variant : Network.Config.variant;
+  domain_guided_only : bool;
+}
+
+let strategy_for (level : Hierarchy.level) q =
+  match level with
+  | Hierarchy.Monotone -> Strategies.Broadcast.transducer q
+  | Hierarchy.Domain_distinct -> Strategies.Absence.transducer q
+  | Hierarchy.Domain_disjoint -> Strategies.Domain_request.transducer q
+  | Hierarchy.Beyond ->
+    invalid_arg
+      (Printf.sprintf
+         "Compile.strategy_for: %s is outside Mdisjoint; no coordination-free \
+          strategy exists"
+         q.Query.name)
+
+let compile ~level q =
+  {
+    level;
+    query = q;
+    transducer = strategy_for level q;
+    variant =
+      (match level with
+      | Hierarchy.Monotone -> Network.Config.oblivious
+      | _ -> Network.Config.policy_aware);
+    domain_guided_only = level = Hierarchy.Domain_disjoint;
+  }
+
+let compile_program ?bounds ?level p =
+  let q = Datalog.Program.query ~name:"program" p in
+  let level =
+    match level with
+    | Some l -> l
+    | None -> (
+      match Hierarchy.of_fragment (Datalog.Program.fragment p) with
+      | Hierarchy.Beyond -> Hierarchy.place_empirically ?bounds q
+      | l -> l)
+  in
+  compile ~level q

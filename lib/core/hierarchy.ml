@@ -1,0 +1,60 @@
+type level =
+  | Monotone
+  | Domain_distinct
+  | Domain_disjoint
+  | Beyond
+
+let levels = [ Monotone; Domain_distinct; Domain_disjoint; Beyond ]
+
+let to_string = function
+  | Monotone -> "monotone"
+  | Domain_distinct -> "domain-distinct-monotone"
+  | Domain_disjoint -> "domain-disjoint-monotone"
+  | Beyond -> "beyond-Mdisjoint"
+
+let monotonicity_class = function
+  | Monotone -> "M"
+  | Domain_distinct -> "Mdistinct"
+  | Domain_disjoint -> "Mdisjoint"
+  | Beyond -> "C"
+
+let transducer_model = function
+  | Monotone -> "original"
+  | Domain_distinct -> "policy-aware"
+  | Domain_disjoint -> "domain-guided"
+  | Beyond -> "none (coordination required)"
+
+let datalog_fragment = function
+  | Monotone -> "Datalog(!=)"
+  | Domain_distinct -> "SP-Datalog"
+  | Domain_disjoint -> "semicon-Datalog^neg"
+  | Beyond -> "Datalog^neg"
+
+let rank = function
+  | Monotone -> 0
+  | Domain_distinct -> 1
+  | Domain_disjoint -> 2
+  | Beyond -> 3
+
+let leq a b = rank a <= rank b
+
+let of_fragment (f : Datalog.Fragment.t) =
+  match f with
+  | Datalog.Fragment.Positive | Datalog.Fragment.Positive_ineq -> Monotone
+  | Datalog.Fragment.Semi_positive -> Domain_distinct
+  | Datalog.Fragment.Connected_stratified
+  | Datalog.Fragment.Semi_connected_stratified -> Domain_disjoint
+  | Datalog.Fragment.Stratified | Datalog.Fragment.Unstratifiable -> Beyond
+
+let place_empirically ?bounds q =
+  let p = Monotone.Checker.place ?bounds q in
+  let open Monotone.Checker in
+  if not (is_violation p.plain) then Monotone
+  else if not (is_violation p.distinct) then Domain_distinct
+  else if not (is_violation p.disjoint) then Domain_disjoint
+  else Beyond
+
+let placement_of_program ?bounds p =
+  let syntactic = of_fragment (Datalog.Program.fragment p) in
+  let q = Datalog.Program.query ~name:"program" p in
+  (syntactic, place_empirically ?bounds q)

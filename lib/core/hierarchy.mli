@@ -1,0 +1,47 @@
+(** The CALM hierarchy of the paper (Figures 1 and 2) as a datatype, with
+    both syntactic (Datalog-fragment) and empirical (bounded-checker)
+    placement of queries. *)
+
+open Relational
+
+type level =
+  | Monotone          (** M — original transducer networks, F0 *)
+  | Domain_distinct   (** Mdistinct = E — policy-aware, F1 *)
+  | Domain_disjoint   (** Mdisjoint — domain-guided, F2 *)
+  | Beyond            (** C \ Mdisjoint: requires coordination *)
+
+val levels : level list
+(** In increasing order of weakness. *)
+
+val to_string : level -> string
+val monotonicity_class : level -> string
+(** "M" / "Mdistinct" / "Mdisjoint" / "C". *)
+
+val transducer_model : level -> string
+(** The weakest transducer-network model whose coordination-free fragment
+    captures the level ("original" / "policy-aware" / "domain-guided" /
+    "none"). *)
+
+val datalog_fragment : level -> string
+(** The Datalog variant of Figure 2 associated with the level. *)
+
+val leq : level -> level -> bool
+(** Inclusion order: [Monotone ≤ Domain_distinct ≤ Domain_disjoint ≤
+    Beyond]. *)
+
+val of_fragment : Datalog.Fragment.t -> level
+(** Sound syntactic placement: Datalog/Datalog(≠) → [Monotone],
+    SP-Datalog → [Domain_distinct], (semi-)connected stratified →
+    [Domain_disjoint], otherwise [Beyond] (no guarantee — the query may
+    still sit lower). *)
+
+val place_empirically :
+  ?bounds:Monotone.Checker.bounds -> Query.t -> level
+(** Bounded-exhaustive placement via {!Monotone.Checker.place}: the
+    strongest class with no violation found. *)
+
+val placement_of_program :
+  ?bounds:Monotone.Checker.bounds -> Datalog.Program.t -> level * level
+(** [(syntactic, empirical)] placement of a Datalog¬ program; the
+    syntactic level always bounds the empirical one from above when the
+    checkers are given enough budget. *)

@@ -1,0 +1,54 @@
+open Relational
+
+type report = {
+  consistent : bool;
+  coordination_free : bool;
+  runs : int;
+  messages_total : int;
+  transitions_total : int;
+}
+
+let check ?schedulers ?max_rounds (c : Compile.compiled) ~inputs network =
+  let policies =
+    Network.Netquery.default_policies
+      ~domain_guided_only:c.Compile.domain_guided_only
+      c.Compile.query.Query.input network
+  in
+  let verdicts =
+    List.map
+      (fun input ->
+        Network.Netquery.check ?schedulers ~policies ?max_rounds
+          ~variant:c.Compile.variant ~transducer:c.Compile.transducer
+          ~query:c.Compile.query ~input network)
+      inputs
+  in
+  let consistent = List.for_all Network.Netquery.consistent verdicts in
+  let coordination_free =
+    List.for_all
+      (fun input ->
+        Network.Coordination.heartbeat_witness ~variant:c.Compile.variant
+          ~transducer:c.Compile.transducer ~query:c.Compile.query ~input
+          network
+        <> None)
+      inputs
+  in
+  let all_runs = List.concat_map (fun v -> v.Network.Netquery.runs) verdicts in
+  {
+    consistent;
+    coordination_free;
+    runs = List.length all_runs;
+    messages_total =
+      List.fold_left
+        (fun acc (_, r) -> acc + r.Network.Run.messages_sent)
+        0 all_runs;
+    transitions_total =
+      List.fold_left
+        (fun acc (_, r) -> acc + r.Network.Run.transitions)
+        0 all_runs;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "consistent=%b coordination-free=%b runs=%d messages=%d transitions=%d"
+    r.consistent r.coordination_free r.runs r.messages_total
+    r.transitions_total

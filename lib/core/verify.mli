@@ -1,0 +1,23 @@
+(** End-to-end verification of a compiled query: consistency across
+    schedulers × policies, and the coordination-freeness witness of
+    Definition 3. Used by the test suite, the benches, and the examples. *)
+
+open Relational
+
+type report = {
+  consistent : bool;
+  coordination_free : bool;
+  runs : int;
+  messages_total : int;
+  transitions_total : int;
+}
+
+val check :
+  ?schedulers:(string * Network.Run.scheduler) list ->
+  ?max_rounds:int ->
+  Compile.compiled ->
+  inputs:Instance.t list ->
+  Distributed.network ->
+  report
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,22 @@
+open Relational
+
+let predicate = "Adom"
+
+let rules_for schema =
+  List.concat_map
+    (fun (name, ar) ->
+      let vars = List.init ar (fun i -> Printf.sprintf "x%d" (i + 1)) in
+      let body = [ Ast.atom name (List.map (fun v -> Ast.Var v) vars) ] in
+      List.map (fun v -> Ast.rule (Ast.atom predicate [ Ast.Var v ]) body) vars)
+    (Schema.relations schema)
+
+let augment p =
+  let mentions =
+    List.exists (fun (r : Ast.rule) -> List.mem predicate (Ast.preds_of_rule r)) p
+  in
+  let defines = List.exists (fun (r : Ast.rule) -> r.head.pred = predicate) p in
+  if mentions && not defines then
+    (* Adom ranges over the *input*: project every edb relation of the
+       user program (Adom itself is idb once the rules are added). *)
+    p @ rules_for (Schema.diff (Ast.edb p) (Schema.of_list [ (predicate, 1) ]))
+  else p

@@ -1,0 +1,18 @@
+(** The [Adom] convenience predicate (Section 2).
+
+    The paper's examples use a unary idb relation [Adom] holding the active
+    domain of the input, "computed as the union of the projections of all
+    positions of all edb-relations", with the defining rules left implicit.
+    {!rules_for} materializes those rules. *)
+
+val predicate : string
+(** ["Adom"]. *)
+
+val rules_for : Relational.Schema.t -> Ast.program
+(** One rule per position of each relation of the schema:
+    [Adom(xi) :- R(x1, ..., xk).] *)
+
+val augment : Ast.program -> Ast.program
+(** Appends {!rules_for} on the program's edb schema when the program
+    mentions [Adom] without defining it; otherwise returns the program
+    unchanged. *)

@@ -1,0 +1,81 @@
+(** Abstract syntax of Datalog¬ (Section 2 of the paper) and of ILOG¬
+    invention heads (Section 5.2).
+
+    A rule is the paper's quadruple [(head, pos, neg, ineq)]. Rules must be
+    range-restricted: every variable of the rule occurs in a positive body
+    atom. We additionally allow constants in atoms and in inequalities,
+    which the paper's examples use implicitly. *)
+
+open Relational
+
+type var = string
+
+type term =
+  | Var of var
+  | Const of Value.t
+
+type atom = {
+  pred : string;
+  invents : bool;
+      (** [true] for an ILOG invention atom [R(⋆, u1, ..., uk)]; the [*]
+          slot is implicit and not part of [terms]. Only legal in heads. *)
+  terms : term list;
+}
+
+type rule = {
+  head : atom;
+  pos : atom list;
+  neg : atom list;
+  ineq : (term * term) list;
+}
+
+type program = rule list
+
+val atom : string -> term list -> atom
+val invention_atom : string -> term list -> atom
+val atom_arity : atom -> int
+(** Arity counting the invention slot. *)
+
+val rule :
+  ?neg:atom list -> ?ineq:(term * term) list -> atom -> atom list -> rule
+(** [rule head pos] builds and validates a rule. @raise Invalid_argument if
+    the rule is not well-formed (see {!check_rule}). *)
+
+val check_rule : rule -> (unit, string) result
+(** Well-formedness: non-empty [pos]; all variables (head, neg, ineq)
+    occur in [pos]; no invention atoms in bodies; negated atoms carry no
+    invention flag. *)
+
+val vars_of_term : term -> var list
+val vars_of_atom : atom -> var list
+val vars_of_rule : rule -> var list
+(** In first-occurrence order, without duplicates. *)
+
+val rule_is_positive : rule -> bool
+(** No negated atoms (inequalities allowed). *)
+
+val rule_has_ineq : rule -> bool
+val rule_invents : rule -> bool
+
+val schema_of : program -> Schema.t
+(** [sch(P)]: minimal schema the program is over (invention slots counted).
+    @raise Invalid_argument if a predicate is used with two arities. *)
+
+val idb : program -> Schema.t
+(** Predicates occurring in rule heads. *)
+
+val edb : program -> Schema.t
+(** [sch(P) \ idb(P)]. *)
+
+val preds_of_rule : rule -> string list
+val equal_term : term -> term -> bool
+val equal_atom : atom -> atom -> bool
+val equal_rule : rule -> rule -> bool
+val equal_program : program -> program -> bool
+(** Set-equality of rules. *)
+
+val pp_term : Format.formatter -> term -> unit
+val pp_atom : Format.formatter -> atom -> unit
+val pp_rule : Format.formatter -> rule -> unit
+val pp_program : Format.formatter -> program -> unit
+val to_string : program -> string

@@ -1,0 +1,68 @@
+let pos_vars_by_atom (r : Ast.rule) =
+  List.map Ast.vars_of_atom r.pos
+
+let rule_graph (r : Ast.rule) =
+  let vars = List.sort_uniq String.compare (List.concat (pos_vars_by_atom r)) in
+  List.map
+    (fun v ->
+      let neighbours =
+        List.concat_map
+          (fun group -> if List.mem v group then group else [])
+          (pos_vars_by_atom r)
+        |> List.sort_uniq String.compare
+        |> List.filter (fun w -> w <> v)
+      in
+      (v, neighbours))
+    vars
+
+let rule_is_connected r =
+  match rule_graph r with
+  | [] | [ _ ] -> true
+  | (start, _) :: _ as graph ->
+    let adj v = try List.assoc v graph with Not_found -> [] in
+    let seen = Hashtbl.create 8 in
+    let rec dfs v =
+      if not (Hashtbl.mem seen v) then begin
+        Hashtbl.replace seen v ();
+        List.iter dfs (adj v)
+      end
+    in
+    dfs start;
+    Hashtbl.length seen = List.length graph
+
+let is_connected_program p =
+  List.for_all rule_is_connected p && Stratify.is_stratifiable p
+
+let forced_final_stratum p =
+  let heads_of_unconnected =
+    List.filter_map
+      (fun (r : Ast.rule) ->
+        if rule_is_connected r then None else Some r.head.pred)
+      p
+    |> List.sort_uniq String.compare
+  in
+  Stratify.dependents_of_trans p heads_of_unconnected
+
+(* The forced set S must be realizable as one semi-positive stratum: rules
+   defining predicates of S may not negate predicates of S. S is upward
+   closed by construction, so nothing outside S depends on S, and the
+   prefix (a subset of a stratifiable program) stratifies whenever P
+   does. *)
+let is_semi_connected p =
+  Stratify.is_stratifiable p
+  &&
+  let forced = forced_final_stratum p in
+  List.for_all
+    (fun (r : Ast.rule) ->
+      if List.mem r.head.pred forced then
+        List.for_all (fun (a : Ast.atom) -> not (List.mem a.pred forced)) r.neg
+      else true)
+    p
+
+let explain p =
+  if not (Stratify.is_stratifiable p) then "not syntactically stratifiable"
+  else if List.for_all rule_is_connected p then "connected (con-Datalog¬)"
+  else if is_semi_connected p then
+    Printf.sprintf "semi-connected (final stratum forced to contain: %s)"
+      (String.concat ", " (forced_final_stratum p))
+  else "stratifiable but not semi-connected"

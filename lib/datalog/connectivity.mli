@@ -1,0 +1,32 @@
+(** Connected and semi-connected Datalog¬ (Section 5.1 of the paper).
+
+    [graph+(ϕ)] has the variables of the positive body atoms as nodes and
+    an edge between two variables that co-occur in some positive body atom.
+    A rule is connected when that graph is connected; a stratifiable
+    program is connected (con-Datalog¬) when all rules are connected, and
+    semi-connected (semicon-Datalog¬) when some stratification makes all
+    strata but the last connected. *)
+
+val rule_graph : Ast.rule -> (Ast.var * Ast.var list) list
+(** Adjacency view of [graph+(ϕ)] (each variable with its neighbours). *)
+
+val rule_is_connected : Ast.rule -> bool
+(** Rules whose positive body has at most one variable are connected. *)
+
+val is_connected_program : Ast.program -> bool
+(** All rules connected and the program stratifiable (con-Datalog¬). *)
+
+val is_semi_connected : Ast.program -> bool
+(** Membership in semicon-Datalog¬. Decided exactly: the unconnected rules
+    force their head predicates — and everything depending on them — into
+    the final stratum; the program is semi-connected iff that forced set
+    can form a single semi-positive stratum (no negation within the set)
+    and the program is stratifiable. *)
+
+val forced_final_stratum : Ast.program -> string list
+(** The idb predicates forced into the final stratum by unconnected rules
+    (transitively closed under "depends on"). Empty when every rule is
+    connected. *)
+
+val explain : Ast.program -> string
+(** Human-readable classification used by the CLI example. *)

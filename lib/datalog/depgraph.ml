@@ -1,0 +1,42 @@
+open Relational
+
+let quote s = "\"" ^ s ^ "\""
+
+let to_dot p =
+  let idb = Ast.idb p and edb = Ast.edb p in
+  let number =
+    match Stratify.stratify p with
+    | Ok { number; _ } -> number
+    | Error _ -> fun _ -> None
+  in
+  let node name =
+    if Schema.mem edb name then
+      Printf.sprintf "  %s [shape=box];" (quote name)
+    else
+      let label =
+        match number name with
+        | Some s -> Printf.sprintf "%s\\nstratum %d" name s
+        | None -> name
+      in
+      Printf.sprintf "  %s [label=%s];" (quote name) (quote label)
+  in
+  let nodes =
+    List.map node (Schema.names edb @ Schema.names idb)
+  in
+  let edge_lines =
+    List.concat_map
+      (fun (r : Ast.rule) ->
+        let t = r.head.pred in
+        List.map
+          (fun (a : Ast.atom) ->
+            Printf.sprintf "  %s -> %s;" (quote a.pred) (quote t))
+          r.pos
+        @ List.map
+            (fun (a : Ast.atom) ->
+              Printf.sprintf "  %s -> %s [style=dashed, color=red];"
+                (quote a.pred) (quote t))
+            r.neg)
+      p
+    |> List.sort_uniq String.compare
+  in
+  String.concat "\n" (("digraph dependencies {" :: nodes) @ edge_lines @ [ "}" ])

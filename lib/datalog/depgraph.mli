@@ -1,0 +1,7 @@
+(** Graphviz export of a program's predicate dependency graph: solid
+    edges for positive dependencies, dashed (red) edges for negative
+    ones, boxes for edb relations, and stratum numbers in the idb labels
+    when the program stratifies. The cycles through dashed edges are
+    exactly what stratifiability forbids. *)
+
+val to_dot : Ast.program -> string

@@ -1,0 +1,186 @@
+open Relational
+
+exception Diverged
+
+let skolem_functor pred = "f_" ^ pred
+
+module Env = Map.Make (String)
+module Smap = Map.Make (String)
+
+let default_neg j f = not (Instance.mem f j)
+
+(* Predicate-indexed view of an instance, built once per fixpoint round so
+   atom matching does not rescan the whole fact set. *)
+let index i =
+  Instance.fold
+    (fun f m ->
+      Smap.update (Fact.rel f)
+        (function None -> Some [ f ] | Some l -> Some (f :: l))
+        m)
+    i Smap.empty
+
+let lookup idx pred = match Smap.find_opt pred idx with Some l -> l | None -> []
+
+let match_term env term value =
+  match (term : Ast.term) with
+  | Const c -> if Value.equal c value then Some env else None
+  | Var v -> (
+    match Env.find_opt v env with
+    | Some w -> if Value.equal w value then Some env else None
+    | None -> Some (Env.add v value env))
+
+let match_atom env (a : Ast.atom) (f : Fact.t) =
+  if Fact.rel f <> a.pred || Fact.arity f <> List.length a.terms then None
+  else
+    let rec go env i = function
+      | [] -> Some env
+      | t :: rest -> (
+        match match_term env t (Fact.arg f i) with
+        | None -> None
+        | Some env -> go env (i + 1) rest)
+    in
+    go env 0 a.terms
+
+let term_value env = function
+  | Ast.Const c -> c
+  | Ast.Var v -> (
+    match Env.find_opt v env with
+    | Some c -> c
+    | None -> invalid_arg "Eval: unbound variable in a checked position")
+
+(* Invention heads R(⋆, ū) ground to R(f_R(v̄), v̄): the Skolemization of
+   Section 5.2, with the functor applied to the remaining head
+   arguments. *)
+let ground_atom env (a : Ast.atom) =
+  let args = List.map (term_value env) a.terms in
+  if a.invents then
+    Fact.make a.pred (Value.Skolem (skolem_functor a.pred, args) :: args)
+  else Fact.make a.pred args
+
+(* Greedy join ordering: repeatedly pick the atom sharing the most
+   variables with the already-bound set; prefer atoms with constants and
+   small variable counts as tie-breakers. *)
+let reorder_body (r : Ast.rule) =
+  let score bound (a : Ast.atom) =
+    let vars = Ast.vars_of_atom a in
+    let shared = List.length (List.filter (fun v -> List.mem v bound) vars) in
+    let constants =
+      List.length (List.filter (function Ast.Const _ -> true | _ -> false) a.terms)
+    in
+    (* Lexicographic: shared desc, constants desc, free vars asc. *)
+    (shared, constants, -List.length vars)
+  in
+  let rec go bound remaining acc =
+    match remaining with
+    | [] -> List.rev acc
+    | _ ->
+      let best =
+        List.fold_left
+          (fun best a ->
+            match best with
+            | None -> Some a
+            | Some b -> if score bound a > score bound b then Some a else best)
+          None remaining
+      in
+      let a = Option.get best in
+      let remaining = List.filter (fun x -> x != a) remaining in
+      go (Ast.vars_of_atom a @ bound) remaining (a :: acc)
+  in
+  { r with pos = go [] r.pos [] }
+
+let optimize p = List.map reorder_body p
+
+(* Enumerate environments extending [env] satisfying the positive atoms;
+   atom number [idx] (if given) matches against [delta_idxed] instead of
+   the full index. *)
+let rec satisfy_pos db_idx delta_idx which i atoms env k =
+  match atoms with
+  | [] -> k env
+  | (a : Ast.atom) :: rest ->
+    let source = if Some i = which then delta_idx else db_idx in
+    List.iter
+      (fun f ->
+        match match_atom env a f with
+        | None -> ()
+        | Some env' -> satisfy_pos db_idx delta_idx which (i + 1) rest env' k)
+      (lookup source a.pred)
+
+let checks_pass current neg env (r : Ast.rule) =
+  List.for_all
+    (fun (x, y) -> not (Value.equal (term_value env x) (term_value env y)))
+    r.ineq
+  && List.for_all (fun a -> neg current (ground_atom env a)) r.neg
+
+let derive_rule ~neg ~current ~db_idx ~delta_idx ~which (r : Ast.rule) acc =
+  let out = ref acc in
+  satisfy_pos db_idx delta_idx which 0 r.pos Env.empty (fun env ->
+      if checks_pass current neg env r then
+        out := Instance.add (ground_atom env r.head) !out);
+  !out
+
+let derive ?(neg = default_neg) p j =
+  let idx = index j in
+  List.fold_left
+    (fun acc r ->
+      derive_rule ~neg ~current:j ~db_idx:idx ~delta_idx:Smap.empty ~which:None
+        r acc)
+    Instance.empty p
+
+let immediate_consequence ?neg p j = Instance.union j (derive ?neg p j)
+
+let guard max_facts j =
+  match max_facts with
+  | Some budget when Instance.cardinal j > budget -> raise Diverged
+  | _ -> ()
+
+let naive ?neg ?max_facts p i =
+  let rec go j =
+    guard max_facts j;
+    let j' = immediate_consequence ?neg p j in
+    if Instance.equal j' j then j else go j'
+  in
+  go i
+
+(* Semi-naive: after the first full round, every new derivation must match
+   at least one positive atom in the delta. Negated predicates are fixed
+   during a semi-positive fixpoint, so they take no part in deltas. *)
+let seminaive ?(neg = default_neg) ?max_facts p i =
+  let step db delta =
+    let db_idx = index db and delta_idx = index delta in
+    List.fold_left
+      (fun acc (r : Ast.rule) ->
+        let n = List.length r.pos in
+        let rec over_idx which acc =
+          if which = n then acc
+          else
+            over_idx (which + 1)
+              (derive_rule ~neg ~current:db ~db_idx ~delta_idx
+                 ~which:(Some which) r acc)
+        in
+        over_idx 0 acc)
+      Instance.empty p
+  in
+  let first = derive ~neg p i in
+  let rec go db delta =
+    guard max_facts db;
+    if Instance.is_empty delta then db
+    else
+      let db' = Instance.union db delta in
+      let fresh = Instance.diff (step db' delta) db' in
+      go db' fresh
+  in
+  go i (Instance.diff first i)
+
+let stratified ?max_facts p i =
+  match Stratify.stratify p with
+  | Error e -> Error e
+  | Ok { strata; _ } ->
+    Ok
+      (List.fold_left
+         (fun acc stratum -> seminaive ?max_facts stratum acc)
+         i strata)
+
+let stratified_exn ?max_facts p i =
+  match stratified ?max_facts p i with
+  | Ok r -> r
+  | Error e -> invalid_arg ("Eval.stratified_exn: " ^ e)

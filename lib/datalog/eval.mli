@@ -1,0 +1,69 @@
+(** Fixpoint evaluation of Datalog¬ programs.
+
+    [naive] and [seminaive] compute the minimal fixpoint of the immediate
+    consequence operator [T_P] (Section 2) for semi-positive programs —
+    programs whose negated predicates are never derived by the rules being
+    evaluated (their extent is fixed throughout). [stratified] runs a
+    syntactic stratification bottom-up, each stratum with [seminaive].
+
+    The optional [neg] argument overrides how a negated ground atom is
+    tested; it receives the current total instance and the candidate fact.
+    The default tests absence from the current instance, which is the
+    paper's semantics for semi-positive programs and strata. The
+    well-founded evaluator overrides it to test against a fixed
+    underestimate. *)
+
+open Relational
+
+exception Diverged
+(** Raised when a fixpoint exceeds its [max_facts] budget. Pure Datalog¬
+    always terminates; the budget matters for ILOG programs with recursive
+    value invention, whose output the paper leaves undefined when infinite
+    (Section 5.2). *)
+
+val skolem_functor : string -> string
+(** Name of the Skolem functor associated with an invention relation
+    ([f_R] in the paper). *)
+
+val derive :
+  ?neg:(Instance.t -> Fact.t -> bool) ->
+  Ast.program -> Instance.t -> Instance.t
+(** Facts derived by all satisfying valuations on the given instance (the
+    [A] in [T_P(J) = J ∪ A]); result may overlap the instance. *)
+
+val reorder_body : Ast.rule -> Ast.rule
+(** Join-order heuristic: greedily reorders the positive body atoms so
+    that each atom shares as many variables as possible with the atoms
+    before it (ties broken towards atoms with constants, then fewer
+    variables). Semantically a no-op — rule bodies are sets — but it
+    prunes the nested-loop search; see the E18 ablation bench. *)
+
+val optimize : Ast.program -> Ast.program
+(** {!reorder_body} applied to every rule. *)
+
+val immediate_consequence :
+  ?neg:(Instance.t -> Fact.t -> bool) ->
+  Ast.program -> Instance.t -> Instance.t
+(** [T_P(J)]. *)
+
+val naive :
+  ?neg:(Instance.t -> Fact.t -> bool) ->
+  ?max_facts:int ->
+  Ast.program -> Instance.t -> Instance.t
+(** Least fixpoint above the input by naive iteration.
+    @raise Diverged if the fixpoint grows past [max_facts]. *)
+
+val seminaive :
+  ?neg:(Instance.t -> Fact.t -> bool) ->
+  ?max_facts:int ->
+  Ast.program -> Instance.t -> Instance.t
+(** Least fixpoint by semi-naive (delta) iteration. Agrees with {!naive}
+    on semi-positive programs (tested property). *)
+
+val stratified :
+  ?max_facts:int -> Ast.program -> Instance.t -> (Instance.t, string) result
+(** Stratified semantics [P_k(...P_1(I)...)]; [Error] if not syntactically
+    stratifiable. *)
+
+val stratified_exn : ?max_facts:int -> Ast.program -> Instance.t -> Instance.t
+(** @raise Invalid_argument if not stratifiable. *)

@@ -1,0 +1,48 @@
+open Relational
+
+type t =
+  | Positive
+  | Positive_ineq
+  | Semi_positive
+  | Connected_stratified
+  | Semi_connected_stratified
+  | Stratified
+  | Unstratifiable
+
+let is_positive p =
+  List.for_all
+    (fun r -> Ast.rule_is_positive r && not (Ast.rule_has_ineq r))
+    p
+
+let is_positive_with_ineq p = List.for_all Ast.rule_is_positive p
+
+let is_semi_positive p =
+  let edb = Ast.edb p in
+  List.for_all
+    (fun (r : Ast.rule) ->
+      List.for_all (fun (a : Ast.atom) -> Schema.mem edb a.pred) r.neg)
+    p
+
+let classify p =
+  if is_positive p then Positive
+  else if is_positive_with_ineq p then Positive_ineq
+  else if is_semi_positive p then Semi_positive
+  else if not (Stratify.is_stratifiable p) then Unstratifiable
+  else if Connectivity.is_connected_program p then Connected_stratified
+  else if Connectivity.is_semi_connected p then Semi_connected_stratified
+  else Stratified
+
+let to_string = function
+  | Positive -> "Datalog"
+  | Positive_ineq -> "Datalog(!=)"
+  | Semi_positive -> "SP-Datalog"
+  | Connected_stratified -> "con-Datalog^neg"
+  | Semi_connected_stratified -> "semicon-Datalog^neg"
+  | Stratified -> "Datalog^neg (stratified)"
+  | Unstratifiable -> "unstratifiable"
+
+let monotonicity_upper_bound = function
+  | Positive | Positive_ineq -> "M"
+  | Semi_positive -> "Mdistinct"
+  | Connected_stratified | Semi_connected_stratified -> "Mdisjoint"
+  | Stratified | Unstratifiable -> "C"

@@ -1,0 +1,30 @@
+(** Syntactic classification of Datalog¬ programs into the fragments of the
+    paper's Figure 2. *)
+
+type t =
+  | Positive            (** Datalog: positive, no inequalities *)
+  | Positive_ineq       (** Datalog(≠) *)
+  | Semi_positive       (** SP-Datalog: negation on edb only *)
+  | Connected_stratified      (** con-Datalog¬ *)
+  | Semi_connected_stratified (** semicon-Datalog¬ (and not con) *)
+  | Stratified          (** stratified but not semi-connected *)
+  | Unstratifiable
+
+val classify : Ast.program -> t
+(** The most specific fragment: [Positive ⊆ Positive_ineq ⊆ Semi_positive ⊆
+    Semi_connected ⊆ Stratified]; connectivity is orthogonal to
+    [Semi_positive] (the paper notes SP-Datalog ⊄ con-Datalog¬), so
+    [classify] prefers [Semi_positive] over [Connected_stratified] when
+    both hold. *)
+
+val is_positive : Ast.program -> bool
+val is_positive_with_ineq : Ast.program -> bool
+val is_semi_positive : Ast.program -> bool
+
+val to_string : t -> string
+
+val monotonicity_upper_bound : t -> string
+(** The monotonicity class the fragment is guaranteed to live in, per the
+    paper: positive fragments → "M", semi-positive → "Mdistinct",
+    (semi-)connected stratified → "Mdisjoint", general stratified /
+    unstratifiable → "C". *)

@@ -1,0 +1,34 @@
+open Relational
+
+let relevant_predicates p goal_pred =
+  Stratify.depends_on_trans p goal_pred
+  @ List.concat_map (Stratify.depends_on p) (Stratify.depends_on_trans p goal_pred)
+  |> List.cons goal_pred
+  |> List.sort_uniq String.compare
+
+let slice p goal_pred =
+  let relevant = relevant_predicates p goal_pred in
+  List.filter (fun (r : Ast.rule) -> List.mem r.head.pred relevant) p
+
+let matches (goal : Ast.atom) f =
+  Fact.rel f = goal.pred
+  && Fact.arity f = List.length goal.terms
+  &&
+  let bindings = Hashtbl.create 4 in
+  List.for_all2
+    (fun t value ->
+      match t with
+      | Ast.Const c -> Value.equal c value
+      | Ast.Var v -> (
+        match Hashtbl.find_opt bindings v with
+        | Some w -> Value.equal w value
+        | None ->
+          Hashtbl.replace bindings v value;
+          true))
+    goal.terms (Fact.args f)
+
+let query ?max_facts p i ~goal =
+  let sliced = slice p goal.Ast.pred in
+  match Eval.stratified ?max_facts sliced i with
+  | Error e -> Error e
+  | Ok full -> Ok (Instance.filter (matches goal) full)

@@ -1,0 +1,27 @@
+(** Goal-directed evaluation: answer a single (possibly partially bound)
+    atom query without materializing unrelated predicates.
+
+    A lightweight cousin of magic sets: the program is sliced to the rules
+    transitively relevant to the goal's predicate, evaluated bottom-up,
+    and the result filtered against the goal pattern. Sound and complete
+    for stratified programs because slicing keeps every rule the goal
+    predicate (transitively) depends on. *)
+
+open Relational
+
+val relevant_predicates : Ast.program -> string -> string list
+(** The goal predicate together with everything it transitively depends
+    on (idb and edb). *)
+
+val slice : Ast.program -> string -> Ast.program
+(** The rules whose head predicate is relevant to the goal. *)
+
+val matches : Ast.atom -> Fact.t -> bool
+(** Does a fact match the goal pattern? Variables are wildcards, but
+    repeated variables must agree; constants must be equal. *)
+
+val query :
+  ?max_facts:int -> Ast.program -> Instance.t -> goal:Ast.atom ->
+  (Instance.t, string) result
+(** All facts matching the goal derivable by the (stratified) program on
+    the input. [Error] when the sliced program is not stratifiable. *)

@@ -1,0 +1,231 @@
+open Relational
+
+exception Syntax_error of { line : int; message : string }
+
+type token =
+  | Tident of string
+  | Tint of int
+  | Tstring of string
+  | Tstar
+  | Tlparen
+  | Trparen
+  | Tcomma
+  | Tturnstile
+  | Tdot
+  | Tneq
+  | Tnot
+
+let fail line message = raise (Syntax_error { line; message })
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '\''
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let line = ref 1 in
+  let push t = tokens := (t, !line) :: !tokens in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '%' then begin
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = '(' then (push Tlparen; incr i)
+    else if c = ')' then (push Trparen; incr i)
+    else if c = ',' then (push Tcomma; incr i)
+    else if c = '.' then (push Tdot; incr i)
+    else if c = '*' then (push Tstar; incr i)
+    else if c = ':' && !i + 1 < n && src.[!i + 1] = '-' then begin
+      push Tturnstile;
+      i := !i + 2
+    end
+    else if c = '!' && !i + 1 < n && src.[!i + 1] = '=' then begin
+      push Tneq;
+      i := !i + 2
+    end
+    else if c = '<' && !i + 1 < n && src.[!i + 1] = '>' then begin
+      push Tneq;
+      i := !i + 2
+    end
+    else if c = '"' then begin
+      let j = ref (!i + 1) in
+      let buf = Buffer.create 8 in
+      while !j < n && src.[!j] <> '"' do
+        if src.[!j] = '\n' then fail !line "unterminated string literal";
+        Buffer.add_char buf src.[!j];
+        incr j
+      done;
+      if !j >= n then fail !line "unterminated string literal";
+      push (Tstring (Buffer.contents buf));
+      i := !j + 1
+    end
+    else if c = '-' || (c >= '0' && c <= '9') then begin
+      let j = ref !i in
+      if src.[!j] = '-' then incr j;
+      let start = !j in
+      while !j < n && src.[!j] >= '0' && src.[!j] <= '9' do
+        incr j
+      done;
+      if !j = start then fail !line "expected digits after '-'";
+      let text = String.sub src !i (!j - !i) in
+      push (Tint (int_of_string text));
+      i := !j
+    end
+    else if is_ident_start c then begin
+      let j = ref !i in
+      while !j < n && is_ident_char src.[!j] do
+        incr j
+      done;
+      let text = String.sub src !i (!j - !i) in
+      if text = "not" then push Tnot else push (Tident text);
+      i := !j
+    end
+    else fail !line (Printf.sprintf "unexpected character %C" c)
+  done;
+  List.rev !tokens
+
+(* Recursive-descent over the token list. *)
+type state = { mutable toks : (token * int) list }
+
+let peek st = match st.toks with [] -> None | (t, _) :: _ -> Some t
+let line_of st = match st.toks with [] -> 0 | (_, l) :: _ -> l
+
+let next st =
+  match st.toks with
+  | [] -> fail 0 "unexpected end of input"
+  | (t, l) :: rest ->
+    st.toks <- rest;
+    (t, l)
+
+let expect st want describe =
+  let t, l = next st in
+  if t <> want then fail l ("expected " ^ describe)
+
+let parse_term st =
+  match next st with
+  | Tident v, _ -> Ast.Var v
+  | Tint k, _ -> Ast.Const (Value.Int k)
+  | Tstring s, _ -> Ast.Const (Value.Sym s)
+  | _, l -> fail l "expected a term (variable, integer, or string)"
+
+let parse_atom st ~head =
+  let name, l =
+    match next st with
+    | Tident name, l -> (name, l)
+    | _, l -> fail l "expected a predicate name"
+  in
+  expect st Tlparen "'(' after predicate name";
+  let invents = ref false in
+  let terms = ref [] in
+  let parse_slot ~first =
+    match peek st with
+    | Some Tstar ->
+      ignore (next st);
+      if not (head && first) then
+        fail (line_of st)
+          "'*' (invention) is only allowed as the first head argument";
+      invents := true
+    | _ -> terms := parse_term st :: !terms
+  in
+  parse_slot ~first:true;
+  let rec loop () =
+    match peek st with
+    | Some Tcomma ->
+      ignore (next st);
+      parse_slot ~first:false;
+      loop ()
+    | Some Trparen -> ignore (next st)
+    | _ -> fail (line_of st) "expected ',' or ')' in atom"
+  in
+  loop ();
+  if !terms = [] && not !invents then
+    fail l ("predicate " ^ name ^ " applied to no arguments");
+  let terms = List.rev !terms in
+  if !invents then Ast.invention_atom name terms else Ast.atom name terms
+
+let parse_literal st =
+  match peek st with
+  | Some Tnot ->
+    ignore (next st);
+    `Neg (parse_atom st ~head:false)
+  | Some (Tident _) -> begin
+    (* Could be an atom (ident followed by '(') or a variable in an
+       inequality. Look ahead one token. *)
+    match st.toks with
+    | (Tident _, _) :: (Tlparen, _) :: _ -> `Pos (parse_atom st ~head:false)
+    | _ ->
+      let a = parse_term st in
+      expect st Tneq "'!=' in inequality";
+      let b = parse_term st in
+      `Ineq (a, b)
+  end
+  | Some (Tint _ | Tstring _) ->
+    let a = parse_term st in
+    expect st Tneq "'!=' in inequality";
+    let b = parse_term st in
+    `Ineq (a, b)
+  | _ -> fail (line_of st) "expected a body literal"
+
+let parse_one_rule st =
+  let l0 = line_of st in
+  let head = parse_atom st ~head:true in
+  expect st Tturnstile "':-' after rule head";
+  let pos = ref [] and neg = ref [] and ineq = ref [] in
+  let add () =
+    match parse_literal st with
+    | `Pos a -> pos := a :: !pos
+    | `Neg a -> neg := a :: !neg
+    | `Ineq (a, b) -> ineq := (a, b) :: !ineq
+  in
+  add ();
+  let rec loop () =
+    match peek st with
+    | Some Tcomma ->
+      ignore (next st);
+      add ();
+      loop ()
+    | Some Tdot -> ignore (next st)
+    | _ -> fail (line_of st) "expected ',' or '.' after a body literal"
+  in
+  loop ();
+  let r =
+    {
+      Ast.head;
+      pos = List.rev !pos;
+      neg = List.rev !neg;
+      ineq = List.rev !ineq;
+    }
+  in
+  match Ast.check_rule r with
+  | Ok () -> r
+  | Error msg -> fail l0 msg
+
+let parse_program src =
+  let st = { toks = tokenize src } in
+  let rules = ref [] in
+  while peek st <> None do
+    rules := parse_one_rule st :: !rules
+  done;
+  let p = List.rev !rules in
+  (* Trigger arity consistency checking. *)
+  (try ignore (Ast.schema_of p) with Invalid_argument msg -> fail 0 msg);
+  p
+
+let parse_rule src =
+  match parse_program src with
+  | [ r ] -> r
+  | l -> fail 1 (Printf.sprintf "expected exactly one rule, got %d" (List.length l))

@@ -1,0 +1,26 @@
+(** Parser for the conventional Datalog¬ rule syntax.
+
+    Grammar (comments start with [%] and run to end of line):
+    {[
+      program  ::= rule*
+      rule     ::= atom ":-" literal ("," literal)* "."
+      literal  ::= "not" atom | atom | term ("!=" | "<>") term
+      atom     ::= ident "(" slot ("," slot)* ")"
+      slot     ::= "*" | term            (* "*" only in heads: invention *)
+      term     ::= ident                 (* a variable *)
+                 | integer               (* Const (Int _) *)
+                 | '"' chars '"'         (* Const (Sym _) *)
+    ]}
+
+    Any identifier directly applied to parentheses is a predicate name; bare
+    identifiers in term position are variables. String and integer literals
+    are constants. *)
+
+exception Syntax_error of { line : int; message : string }
+
+val parse_program : string -> Ast.program
+(** @raise Syntax_error on lexical or grammatical errors, and on rules that
+    fail {!Ast.check_rule}. *)
+
+val parse_rule : string -> Ast.rule
+(** Parses exactly one rule. *)

@@ -1,0 +1,58 @@
+open Relational
+
+type severity =
+  | Edb_negation
+  | Stratified_negation
+  | Blocking_negation
+
+type point = {
+  rule : Ast.rule;
+  literal : Ast.atom;
+  severity : severity;
+}
+
+let severity_to_string = function
+  | Edb_negation -> "edb-negation"
+  | Stratified_negation -> "stratified-negation"
+  | Blocking_negation -> "blocking-negation"
+
+let rank = function
+  | Edb_negation -> 1
+  | Stratified_negation -> 2
+  | Blocking_negation -> 3
+
+let analyze p =
+  let edb = Ast.edb p in
+  let semicon = Connectivity.is_semi_connected p in
+  List.concat_map
+    (fun (r : Ast.rule) ->
+      List.map
+        (fun (a : Ast.atom) ->
+          let severity =
+            if Schema.mem edb a.pred then Edb_negation
+            else if semicon then Stratified_negation
+            else Blocking_negation
+          in
+          { rule = r; literal = a; severity })
+        r.neg)
+    p
+
+let max_severity points =
+  List.fold_left
+    (fun acc pt ->
+      match acc with
+      | None -> Some pt.severity
+      | Some s -> if rank pt.severity > rank s then Some pt.severity else Some s)
+    None points
+
+let coordination_level p =
+  match max_severity (analyze p) with
+  | None -> "F0 (none: positive program, monotone)"
+  | Some Edb_negation -> "F1 (absence information suffices)"
+  | Some Stratified_negation -> "F2 (component completeness suffices)"
+  | Some Blocking_negation -> "global coordination required"
+
+let pp_point ppf pt =
+  Format.fprintf ppf "%s in [%a]: %a"
+    (severity_to_string pt.severity)
+    Ast.pp_atom pt.literal Ast.pp_rule pt.rule

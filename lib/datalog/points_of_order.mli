@@ -1,0 +1,43 @@
+(** Bloom-style CALM analysis: {e points of order}.
+
+    Alvaro et al.'s consistency analysis (cited in the paper's related
+    work) marks the non-monotone constructs of a program — in Datalog¬,
+    the negated literals — as the places where a distributed execution
+    may need to wait. This module locates them and, refined by the
+    paper's hierarchy, reports {e how much} waiting each one needs:
+    negation over edb is discharged by absence certificates (policy-aware
+    model), negation inside a connected prefix is discharged by component
+    completeness (domain-guided model), and anything else requires global
+    coordination. *)
+
+type severity =
+  | Edb_negation
+      (** negated edb atom: needs absence information (level F1) *)
+  | Stratified_negation
+      (** negated idb atom in a semi-connected position: needs component
+          completeness (level F2) *)
+  | Blocking_negation
+      (** negated idb atom outside the semi-connected shape, or in an
+          unstratifiable cycle: global coordination *)
+
+type point = {
+  rule : Ast.rule;
+  literal : Ast.atom;   (** the negated atom *)
+  severity : severity;
+}
+
+val severity_to_string : severity -> string
+
+val analyze : Ast.program -> point list
+(** Every negated literal of the program with its severity. A program
+    with no points of order is positive, hence monotone and
+    coordination-free at level F0. *)
+
+val max_severity : point list -> severity option
+(** The worst point, [None] for positive programs. *)
+
+val coordination_level : Ast.program -> string
+(** Human summary: "F0 (none)" / "F1 (absence info)" /
+    "F2 (component completeness)" / "global coordination". *)
+
+val pp_point : Format.formatter -> point -> unit

@@ -1,0 +1,46 @@
+open Relational
+
+type semantics =
+  | Stratified
+  | Well_founded
+
+type t = {
+  rules : Ast.program;
+  outputs : string list;
+  semantics : semantics;
+}
+
+let make ?(outputs = [ "O" ]) ?(semantics = Stratified) rules =
+  let rules = Adom.augment rules in
+  let idb = Ast.idb rules in
+  List.iter
+    (fun o ->
+      if not (Schema.mem idb o) then
+        invalid_arg
+          (Printf.sprintf "Program.make: output relation %s is not derived" o))
+    outputs;
+  (match semantics with
+  | Stratified -> (
+    match Stratify.stratify rules with
+    | Ok _ -> ()
+    | Error e -> invalid_arg ("Program.make: " ^ e))
+  | Well_founded -> ());
+  { rules; outputs; semantics }
+
+let parse ?outputs ?semantics src =
+  make ?outputs ?semantics (Parser.parse_program src)
+
+let input_schema t = Ast.edb t.rules
+let output_schema t = Schema.restrict (Ast.idb t.rules) t.outputs
+let fragment t = Fragment.classify t.rules
+
+let run t i =
+  let full =
+    match t.semantics with
+    | Stratified -> Eval.stratified_exn t.rules i
+    | Well_founded -> (Wellfounded.eval t.rules i).true_facts
+  in
+  Instance.restrict_rels full t.outputs
+
+let query ~name t =
+  Query.make ~name ~input:(input_schema t) ~output:(output_schema t) (run t)

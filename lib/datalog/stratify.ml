@@ -1,0 +1,214 @@
+open Relational
+
+type stratification = {
+  strata : Ast.program list;
+  number : string -> int option;
+}
+
+(* Ullman's iterative algorithm: start every idb predicate at stratum 1 and
+   propagate the constraints ρ(R) ≤ ρ(T) (positive) and ρ(R) < ρ(T)
+   (negative) until fixpoint. A stratum number exceeding |idb| certifies a
+   cycle through negation. *)
+let stratify p =
+  let idb = Ast.idb p in
+  let idb_names = Schema.names idb in
+  let n = List.length idb_names in
+  let num = Hashtbl.create 16 in
+  List.iter (fun name -> Hashtbl.replace num name 1) idb_names;
+  let get name = try Hashtbl.find num name with Not_found -> 0 in
+  let changed = ref true in
+  let overflow = ref None in
+  while !changed && !overflow = None do
+    changed := false;
+    List.iter
+      (fun (r : Ast.rule) ->
+        let t = r.head.pred in
+        let bump lo =
+          if get t < lo then begin
+            Hashtbl.replace num t lo;
+            changed := true;
+            if lo > n then overflow := Some t
+          end
+        in
+        List.iter
+          (fun (a : Ast.atom) -> if Schema.mem idb a.pred then bump (get a.pred))
+          r.pos;
+        List.iter
+          (fun (a : Ast.atom) ->
+            if Schema.mem idb a.pred then bump (get a.pred + 1))
+          r.neg)
+      p
+  done;
+  match !overflow with
+  | Some t ->
+    Error
+      (Printf.sprintf
+         "not syntactically stratifiable: predicate %s lies on a cycle through negation"
+         t)
+  | None ->
+    (* Compact stratum numbers to 1..k preserving order, then group
+       rules. *)
+    let used =
+      Hashtbl.fold (fun _ s acc -> s :: acc) num []
+      |> List.sort_uniq Int.compare
+    in
+    let rank = Hashtbl.create 8 in
+    List.iteri (fun i s -> Hashtbl.replace rank s (i + 1)) used;
+    let number name =
+      match Hashtbl.find_opt num name with
+      | None -> None
+      | Some s -> Some (Hashtbl.find rank s)
+    in
+    let k = List.length used in
+    let strata =
+      List.init k (fun i ->
+          List.filter (fun (r : Ast.rule) -> number r.head.pred = Some (i + 1)) p)
+    in
+    Ok { strata; number }
+
+let is_stratifiable p = Result.is_ok (stratify p)
+
+(* Kosaraju-style SCC condensation of the idb dependency graph. The edge
+   R -> T means a rule for T uses R; topological order of the condensation
+   then lists dependencies before dependents. *)
+let finest p =
+  let idb = Ast.idb p in
+  let names = Schema.names idb in
+  let edges_pos = Hashtbl.create 16 and edges_neg = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Ast.rule) ->
+      let t = r.head.pred in
+      List.iter
+        (fun (a : Ast.atom) ->
+          if Schema.mem idb a.pred then Hashtbl.add edges_pos a.pred t)
+        r.pos;
+      List.iter
+        (fun (a : Ast.atom) ->
+          if Schema.mem idb a.pred then Hashtbl.add edges_neg a.pred t)
+        r.neg)
+    p;
+  let succs n =
+    Hashtbl.find_all edges_pos n @ Hashtbl.find_all edges_neg n
+    |> List.sort_uniq String.compare
+  in
+  let preds_of n =
+    List.filter (fun m -> List.mem n (succs m)) names
+  in
+  (* First pass: finish order on the forward graph. *)
+  let visited = Hashtbl.create 16 in
+  let order = ref [] in
+  let rec dfs1 n =
+    if not (Hashtbl.mem visited n) then begin
+      Hashtbl.replace visited n ();
+      List.iter dfs1 (succs n);
+      order := n :: !order
+    end
+  in
+  List.iter dfs1 names;
+  (* Second pass: components on the reverse graph, in finish order. *)
+  let comp_of = Hashtbl.create 16 in
+  let comps = ref [] in
+  let rec dfs2 cid n =
+    if not (Hashtbl.mem comp_of n) then begin
+      Hashtbl.replace comp_of n cid;
+      (match !comps with
+      | (id, members) :: rest when id = cid ->
+        comps := (id, n :: members) :: rest
+      | _ -> comps := (cid, [ n ]) :: !comps);
+      List.iter (dfs2 cid) (preds_of n)
+    end
+  in
+  List.iteri (fun i n -> dfs2 i n) !order;
+  (* !comps is in reverse discovery order; discovery order of component
+     roots along !order is a reverse topological... For Kosaraju on the
+     reverse graph in forward finish order, components are discovered in
+     topological order of the condensation. *)
+  let components = List.rev_map snd !comps in
+  (* Validate: no negative edge within a component. *)
+  let neg_inside =
+    List.exists
+      (fun members ->
+        List.exists
+          (fun m ->
+            List.exists
+              (fun t -> List.mem t members)
+              (Hashtbl.find_all edges_neg m))
+          members)
+      components
+  in
+  if neg_inside then
+    Error "not syntactically stratifiable: negative edge within a recursive component"
+  else begin
+    let number_tbl = Hashtbl.create 16 in
+    List.iteri
+      (fun i members ->
+        List.iter (fun n -> Hashtbl.replace number_tbl n (i + 1)) members)
+      components;
+    let number name = Hashtbl.find_opt number_tbl name in
+    let strata =
+      List.mapi
+        (fun i _ ->
+          List.filter (fun (r : Ast.rule) -> number r.head.pred = Some (i + 1)) p)
+        components
+      |> List.filter (fun stratum -> stratum <> [])
+    in
+    (* Renumber after dropping empty strata (components with no rules
+       cannot occur — every idb pred heads a rule — but keep it safe). *)
+    let number name =
+      match number name with
+      | None -> None
+      | Some _ ->
+        let rec find i = function
+          | [] -> None
+          | stratum :: rest ->
+            if
+              List.exists (fun (r : Ast.rule) -> r.head.pred = name) stratum
+            then Some i
+            else find (i + 1) rest
+        in
+        find 1 strata
+    in
+    Ok { strata; number }
+  end
+
+let depends_on p name =
+  List.concat_map
+    (fun (r : Ast.rule) ->
+      if r.head.pred = name then
+        List.map (fun (a : Ast.atom) -> a.pred) (r.pos @ r.neg)
+      else [])
+    p
+  |> List.sort_uniq String.compare
+
+let close_over step seeds =
+  let seen = Hashtbl.create 16 in
+  let rec go = function
+    | [] -> ()
+    | x :: rest ->
+      if Hashtbl.mem seen x then go rest
+      else begin
+        Hashtbl.replace seen x ();
+        go (step x @ rest)
+      end
+  in
+  go seeds;
+  Hashtbl.fold (fun x () acc -> x :: acc) seen []
+  |> List.sort String.compare
+
+let depends_on_trans p name =
+  let idb = Ast.idb p in
+  close_over
+    (fun x -> List.filter (Schema.mem idb) (depends_on p x))
+    [ name ]
+
+let dependents_of_trans p seeds =
+  let idb = Ast.idb p in
+  let direct_dependents x =
+    List.concat_map
+      (fun (r : Ast.rule) ->
+        let body = List.map (fun (a : Ast.atom) -> a.pred) (r.pos @ r.neg) in
+        if List.mem x body then [ r.head.pred ] else [])
+      p
+    |> List.filter (Schema.mem idb)
+  in
+  close_over direct_dependents (List.filter (Schema.mem idb) seeds)

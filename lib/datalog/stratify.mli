@@ -1,0 +1,43 @@
+(** Syntactic stratification of Datalog¬ programs (Section 2).
+
+    A program is syntactically stratifiable when strata numbers
+    [ρ : idb(P) → {1..|idb|}] exist with [ρ(R) ≤ ρ(T)] for positive idb
+    dependencies and [ρ(R) < ρ(T)] for negative ones. *)
+
+type stratification = {
+  strata : Ast.program list;
+      (** The sequence [P1; ...; Pk]: stratum [i] holds exactly the rules
+          whose head predicate has stratum number [i+1]. Every stratum is
+          nonempty. *)
+  number : string -> int option;
+      (** Stratum number (1-based) of an idb predicate; [None] for edb or
+          unknown predicates. *)
+}
+
+val stratify : Ast.program -> (stratification, string) result
+(** [Error] explains the negative cycle when the program is not
+    syntactically stratifiable. The empty program stratifies to no
+    strata. *)
+
+val is_stratifiable : Ast.program -> bool
+
+val finest : Ast.program -> (stratification, string) result
+(** An independent stratification algorithm used to cross-check
+    {!stratify}: strongly connected components of the predicate dependency
+    graph, in topological order, one stratum per component (a negative
+    edge inside a component certifies unstratifiability). Produces the
+    finest stratification; the stratified semantics does not depend on
+    the choice (tested property). *)
+
+val depends_on : Ast.program -> string -> string list
+(** Direct dependencies of an idb predicate: the predicates occurring in
+    bodies of its rules (positive or negative), idb and edb alike. *)
+
+val depends_on_trans : Ast.program -> string -> string list
+(** Reflexive-transitive closure of {!depends_on} restricted to idb
+    predicates. *)
+
+val dependents_of_trans : Ast.program -> string list -> string list
+(** All idb predicates that (transitively, reflexively) depend on one of
+    the given predicates. Used to compute the forced final stratum in the
+    semi-connectedness check. *)

@@ -1,0 +1,141 @@
+open Relational
+
+type outcome =
+  | No_violation of { pairs : int }
+  | Violated of Classes.violation
+
+let is_violation = function Violated _ -> true | No_violation _ -> false
+
+type bounds = {
+  dom_size : int;
+  fresh : int;
+  max_base : int;
+  max_ext : int;
+}
+
+let default_bounds = { dom_size = 3; fresh = 2; max_base = 4; max_ext = 2 }
+
+let scan kind q pairs =
+  let count = ref 0 in
+  let rec go s =
+    match s () with
+    | Seq.Nil -> No_violation { pairs = !count }
+    | Seq.Cons ((base, extension), rest) -> (
+      incr count;
+      match Classes.check_pair kind q ~base ~extension with
+      | Some v -> Violated v
+      | None -> go rest)
+  in
+  go pairs
+
+let check_exhaustive ?(bounds = default_bounds) ?schema kind q =
+  let schema = Option.value schema ~default:q.Query.input in
+  let dom = Enumerate.value_pool bounds.dom_size in
+  let fresh = Enumerate.fresh_pool bounds.fresh in
+  let pairs =
+    Enumerate.instances schema ~dom ~max_facts:bounds.max_base
+    |> Seq.concat_map (fun base ->
+           Enumerate.extensions kind ~base ~schema ~fresh
+             ~max_size:bounds.max_ext
+           |> Seq.map (fun ext -> (base, ext)))
+  in
+  scan kind q pairs
+
+let check_on_bases ?(fresh = 2) ?(max_ext = 2) kind q bases =
+  let fresh = Enumerate.fresh_pool fresh in
+  let pairs =
+    List.to_seq bases
+    |> Seq.concat_map (fun base ->
+           Enumerate.extensions kind ~base ~schema:q.Query.input ~fresh
+             ~max_size:max_ext
+           |> Seq.map (fun ext -> (base, ext)))
+  in
+  scan kind q pairs
+
+let random_instance st schema ~dom ~max_facts =
+  let dom = Array.of_list dom in
+  let pick () = dom.(Random.State.int st (Array.length dom)) in
+  let n = Random.State.int st (max_facts + 1) in
+  let rels = Array.of_list (Schema.relations schema) in
+  if Array.length rels = 0 then Instance.empty
+  else
+    List.init n (fun _ ->
+        let name, ar = rels.(Random.State.int st (Array.length rels)) in
+        Fact.make name (List.init ar (fun _ -> pick ())))
+    |> Instance.of_list
+
+(* A random admissible extension: for Distinct each fact gets at least one
+   fresh value; for Disjoint, only fresh values. *)
+let random_extension st kind schema ~base ~fresh ~max_size =
+  let base_vals = Value.Set.elements (Instance.adom base) in
+  let fresh = Array.of_list fresh in
+  let pick_fresh () = fresh.(Random.State.int st (Array.length fresh)) in
+  let pick_any () =
+    let n_old = List.length base_vals in
+    let k = Random.State.int st (n_old + Array.length fresh) in
+    if k < n_old then List.nth base_vals k else pick_fresh ()
+  in
+  let n = 1 + Random.State.int st max_size in
+  let rels = Array.of_list (Schema.relations schema) in
+  if Array.length rels = 0 then Instance.empty
+  else
+    List.init n (fun _ ->
+        let name, ar = rels.(Random.State.int st (Array.length rels)) in
+        let args =
+          match (kind : Classes.kind) with
+          | Plain -> List.init ar (fun _ -> pick_any ())
+          | Disjoint -> List.init ar (fun _ -> pick_fresh ())
+          | Distinct ->
+            let forced = Random.State.int st ar in
+            List.init ar (fun i ->
+                if i = forced then pick_fresh () else pick_any ())
+        in
+        Fact.make name args)
+    |> Instance.of_list
+    |> fun i -> Instance.diff i base
+
+let check_random ?(seed = 17) ?(trials = 500) ?(bounds = default_bounds)
+    ?schema kind q =
+  let schema = Option.value schema ~default:q.Query.input in
+  let st = Random.State.make [| seed |] in
+  let dom = Enumerate.value_pool bounds.dom_size in
+  let fresh = Enumerate.fresh_pool bounds.fresh in
+  let pairs =
+    Seq.init trials (fun _ ->
+        let base = random_instance st schema ~dom ~max_facts:bounds.max_base in
+        let extension =
+          random_extension st kind schema ~base ~fresh
+            ~max_size:bounds.max_ext
+        in
+        (base, extension))
+    |> Seq.filter (fun (base, extension) ->
+           (not (Instance.is_empty extension))
+           && Classes.admissible kind ~base ~extension)
+  in
+  scan kind q pairs
+
+let ladder ?fresh ?bases ?(bounds = default_bounds) kind ~max_i q =
+  List.init max_i (fun k ->
+      let i = k + 1 in
+      match bases with
+      | Some bases -> check_on_bases ?fresh ~max_ext:i kind q bases
+      | None -> check_exhaustive ~bounds:{ bounds with max_ext = i } kind q)
+
+type placement = {
+  plain : outcome;
+  distinct : outcome;
+  disjoint : outcome;
+}
+
+let place ?bounds ?schema q =
+  {
+    plain = check_exhaustive ?bounds ?schema Classes.Plain q;
+    distinct = check_exhaustive ?bounds ?schema Classes.Distinct q;
+    disjoint = check_exhaustive ?bounds ?schema Classes.Disjoint q;
+  }
+
+let strongest p =
+  if not (is_violation p.plain) then "M"
+  else if not (is_violation p.distinct) then "Mdistinct"
+  else if not (is_violation p.disjoint) then "Mdisjoint"
+  else "C (non-monotone)"

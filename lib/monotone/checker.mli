@@ -1,0 +1,71 @@
+(** Bounded-exhaustive and randomized membership checking for the
+    monotonicity classes.
+
+    A [Violated] outcome is a certificate: the violating pair is concrete
+    and recheckable. A [No_violation] outcome is evidence up to the bounds
+    explored (membership is undecidable in general). For the paper's
+    separating queries the violating pairs are small, so modest bounds
+    decide the separations exactly. *)
+
+open Relational
+
+type outcome =
+  | No_violation of { pairs : int }  (** number of admissible pairs tested *)
+  | Violated of Classes.violation
+
+val is_violation : outcome -> bool
+
+type bounds = {
+  dom_size : int;    (** values available to base instances *)
+  fresh : int;       (** new values available to extensions *)
+  max_base : int;    (** max facts in a base instance *)
+  max_ext : int;     (** max facts in an extension; the [i] of [Mᵢ] *)
+}
+
+val default_bounds : bounds
+(** [{ dom_size = 3; fresh = 2; max_base = 4; max_ext = 2 }]. *)
+
+val check_exhaustive :
+  ?bounds:bounds -> ?schema:Schema.t -> Classes.kind -> Query.t -> outcome
+(** Tries every base over the (input) schema within bounds, and every
+    admissible extension of it. [schema] defaults to the query's input
+    schema. *)
+
+val check_on_bases :
+  ?fresh:int -> ?max_ext:int -> Classes.kind -> Query.t ->
+  Instance.t list -> outcome
+(** Exhaustive extensions over user-supplied base instances — used when
+    the interesting bases are known (e.g. the paper's counterexample
+    constructions) and full enumeration would be too wide. *)
+
+val random_instance :
+  Random.State.t -> Schema.t -> dom:Value.t list -> max_facts:int ->
+  Instance.t
+
+val check_random :
+  ?seed:int -> ?trials:int -> ?bounds:bounds -> ?schema:Schema.t ->
+  Classes.kind -> Query.t -> outcome
+(** Randomized pairs: random base, random admissible extension. *)
+
+val ladder :
+  ?fresh:int -> ?bases:Instance.t list -> ?bounds:bounds ->
+  Classes.kind -> max_i:int -> Query.t -> outcome list
+(** The bounded profile [M¹ₖ, M²ₖ, ..., Mᵐᵃˣₖ] of a query (Figure 1's
+    bounded ladders): element [i-1] checks the class with extensions of
+    size at most [i], over the given bases ({!check_on_bases}) or
+    exhaustively. By inclusion the outcomes are monotone: once violated at
+    [i], violated for all [j ≥ i]. *)
+
+type placement = {
+  plain : outcome;
+  distinct : outcome;
+  disjoint : outcome;
+}
+
+val place : ?bounds:bounds -> ?schema:Schema.t -> Query.t -> placement
+(** Runs {!check_exhaustive} for all three kinds. *)
+
+val strongest : placement -> string
+(** Human name of the strongest class with no violation found:
+    "M" / "Mdistinct" / "Mdisjoint" / "C (non-monotone)" — using the
+    inclusion chain M ⊆ Mdistinct ⊆ Mdisjoint. *)

@@ -1,0 +1,54 @@
+open Relational
+
+type kind =
+  | Plain
+  | Distinct
+  | Disjoint
+
+let kind_to_string = function
+  | Plain -> "M"
+  | Distinct -> "Mdistinct"
+  | Disjoint -> "Mdisjoint"
+
+(* M ⊆ Mdistinct ⊆ Mdisjoint: the Plain condition quantifies over the most
+   extensions, Disjoint over the fewest. *)
+let strength = function Plain -> 2 | Distinct -> 1 | Disjoint -> 0
+let weaker a b = strength a <= strength b
+
+let admissible kind ~base ~extension =
+  match kind with
+  | Plain -> true
+  | Distinct -> Instance.is_domain_distinct_from extension base
+  | Disjoint -> Instance.is_domain_disjoint_from extension base
+
+type violation = {
+  kind : kind;
+  bound : int option;
+  base : Instance.t;
+  extension : Instance.t;
+  missing : Fact.t;
+}
+
+let pp_violation ppf v =
+  Format.fprintf ppf
+    "@[<v>%s%s violated:@ I = %a@ J = %a@ %a in Q(I) but not in Q(I u J)@]"
+    (kind_to_string v.kind)
+    (match v.bound with None -> "" | Some i -> Printf.sprintf "^%d" i)
+    Instance.pp v.base Instance.pp v.extension Fact.pp v.missing
+
+let check_pair kind q ~base ~extension =
+  if not (admissible kind ~base ~extension) then None
+  else
+    let before = Query.apply q base in
+    let after = Query.apply q (Instance.union base extension) in
+    match Instance.to_list (Instance.diff before after) with
+    | [] -> None
+    | missing :: _ ->
+      Some
+        {
+          kind;
+          bound = Some (Instance.cardinal extension);
+          base;
+          extension;
+          missing;
+        }

@@ -1,0 +1,60 @@
+open Relational
+
+let value_pool n = List.init n (fun i -> Value.Int (i + 1))
+let fresh_pool n = List.init n (fun i -> Value.Int (9_000_000 + i))
+
+(* Subsets in nondecreasing size order so that small counterexamples are
+   found first. *)
+let subsets_up_to items k =
+  let items = Array.of_list items in
+  let n = Array.length items in
+  let rec choose size start acc () =
+    if size = 0 then Seq.Cons (List.rev acc, fun () -> Seq.Nil)
+    else
+      let rec from i () =
+        if i > n - size then Seq.Nil
+        else
+          Seq.append
+            (choose (size - 1) (i + 1) (items.(i) :: acc))
+            (from (i + 1))
+            ()
+      in
+      from start ()
+  in
+  let rec sizes s () =
+    if s > min k n then Seq.Nil
+    else Seq.append (choose s 0 []) (sizes (s + 1)) ()
+  in
+  sizes 0
+
+let instances schema ~dom ~max_facts =
+  let facts =
+    Schema.all_facts schema (Value.Set.of_list dom)
+    |> List.sort Fact.compare
+  in
+  Seq.map Instance.of_list (subsets_up_to facts max_facts)
+
+let extensions kind ~base ~schema ~fresh ~max_size =
+  let base_dom = Instance.adom base in
+  let pool =
+    match (kind : Classes.kind) with
+    | Disjoint -> Value.Set.of_list fresh
+    | Plain | Distinct ->
+      Value.Set.union base_dom (Value.Set.of_list fresh)
+  in
+  let candidates =
+    Schema.all_facts schema pool
+    |> List.filter (fun f ->
+           (not (Instance.mem f base))
+           &&
+           match kind with
+           | Classes.Plain -> true
+           | Classes.Distinct ->
+             not (Value.Set.subset (Fact.adom f) base_dom)
+           | Classes.Disjoint ->
+             Value.Set.is_empty (Value.Set.inter (Fact.adom f) base_dom))
+    |> List.sort Fact.compare
+  in
+  subsets_up_to candidates max_size
+  |> Seq.filter (fun l -> l <> [])
+  |> Seq.map Instance.of_list

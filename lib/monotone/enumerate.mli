@@ -1,0 +1,33 @@
+(** Bounded enumeration of instances and admissible extensions.
+
+    Class membership is undecidable in general (paper, Section 7); the
+    checkers explore all instances up to a size/domain bound. Genericity of
+    queries means the choice of concrete domain values is irrelevant, so a
+    fixed value pool loses no generality at a given size. *)
+
+open Relational
+
+val value_pool : int -> Value.t list
+(** [n] canonical base-instance values ([Int 1 .. Int n]). *)
+
+val fresh_pool : int -> Value.t list
+(** [n] values guaranteed disjoint from every {!value_pool}. *)
+
+val subsets_up_to : 'a list -> int -> 'a list Seq.t
+(** All subsets of size [<= k], smallest first. *)
+
+val instances :
+  Schema.t -> dom:Value.t list -> max_facts:int -> Instance.t Seq.t
+(** All instances over the schema using only the given values, with at most
+    [max_facts] facts. *)
+
+val extensions :
+  Classes.kind ->
+  base:Instance.t ->
+  schema:Schema.t ->
+  fresh:Value.t list ->
+  max_size:int ->
+  Instance.t Seq.t
+(** All nonempty extensions [J] admissible for the kind, built from
+    [adom base ∪ fresh] ([fresh] only, for [Disjoint]), excluding facts
+    already in the base, with [|J| <= max_size]. *)

@@ -1,0 +1,8 @@
+(** Monotonicity classes of Section 3 of the paper and bounded decision
+    procedures for them. *)
+
+module Classes = Classes
+module Enumerate = Enumerate
+module Checker = Checker
+module Relate = Relate
+module Shrink = Shrink

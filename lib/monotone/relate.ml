@@ -1,0 +1,118 @@
+open Relational
+
+let is_induced ~whole ~part =
+  Instance.subset part whole
+  && Instance.equal part (Instance.induced whole (Instance.adom part))
+
+let extension_pair_violation q ~whole ~part =
+  if not (is_induced ~whole ~part) then None
+  else
+    let out_part = Query.apply q part in
+    let out_whole = Query.apply q whole in
+    Instance.to_list (Instance.diff out_part out_whole) |> function
+    | [] -> None
+    | f :: _ -> Some f
+
+let check_extensions_exhaustive ?(bounds = Checker.default_bounds) q =
+  let schema = q.Query.input in
+  let dom =
+    Enumerate.value_pool bounds.dom_size @ Enumerate.fresh_pool bounds.fresh
+  in
+  let count = ref 0 in
+  let result = ref None in
+  let wholes =
+    Enumerate.instances schema ~dom ~max_facts:bounds.max_base
+  in
+  Seq.iter
+    (fun whole ->
+      if !result = None then
+        let vals = Value.Set.elements (Instance.adom whole) in
+        Enumerate.subsets_up_to vals (List.length vals)
+        |> Seq.iter (fun sub ->
+               if !result = None then begin
+                 let part = Instance.induced whole (Value.Set.of_list sub) in
+                 incr count;
+                 match extension_pair_violation q ~whole ~part with
+                 | None -> ()
+                 | Some f ->
+                   result :=
+                     Some
+                       {
+                         Classes.kind = Classes.Distinct;
+                         bound = None;
+                         base = part;
+                         extension = Instance.diff whole part;
+                         missing = f;
+                       }
+               end))
+    wholes;
+  match !result with
+  | Some v -> Checker.Violated v
+  | None -> Checker.No_violation { pairs = !count }
+
+let induced_iff_distinct ~whole ~part =
+  let lhs = is_induced ~whole ~part in
+  let rhs =
+    Instance.subset part whole
+    && Instance.is_domain_distinct_from (Instance.diff whole part) part
+  in
+  lhs = rhs
+
+(* All mappings adom(i) → adom(j), filtered to (injective) homomorphisms. *)
+let all_homs ~injective i j =
+  let src = Value.Set.elements (Instance.adom i) in
+  let tgt = Value.Set.elements (Instance.adom j) in
+  let rec go acc = function
+    | [] -> Seq.return acc
+    | v :: rest ->
+      List.to_seq tgt
+      |> Seq.concat_map (fun w -> go (Value.Map.add v w acc) rest)
+  in
+  go Value.Map.empty src
+  |> Seq.filter (fun h ->
+         Homomorphism.is_homomorphism h i j
+         && ((not injective) || Homomorphism.is_injective h))
+
+let hom_pair_violation ~injective q i j =
+  let out_i = Query.apply q i in
+  let out_j = Query.apply q j in
+  all_homs ~injective i j
+  |> Seq.filter_map (fun h ->
+         Instance.to_list out_i
+         |> List.find_opt (fun f ->
+                not (Instance.mem (Homomorphism.apply_fact h f) out_j))
+         |> Option.map (fun f -> (f, h)))
+  |> fun s -> Seq.uncons s |> Option.map fst
+
+let check_hom_exhaustive ?(bounds = Checker.default_bounds) ~injective q =
+  let schema = q.Query.input in
+  let dom = Enumerate.value_pool bounds.dom_size in
+  let dom2 =
+    Enumerate.value_pool bounds.dom_size @ Enumerate.fresh_pool bounds.fresh
+  in
+  let count = ref 0 in
+  let result = ref None in
+  Enumerate.instances schema ~dom ~max_facts:bounds.max_base
+  |> Seq.iter (fun i ->
+         if !result = None then
+           Enumerate.instances schema ~dom:dom2 ~max_facts:bounds.max_base
+           |> Seq.iter (fun j ->
+                  if !result = None then begin
+                    incr count;
+                    match hom_pair_violation ~injective q i j with
+                    | None -> ()
+                    | Some (f, _) ->
+                      result :=
+                        Some
+                          {
+                            Classes.kind = Classes.Plain;
+                            bound = None;
+                            base = i;
+                            extension = j;
+                            missing = f;
+                          }
+                  end))
+  |> ignore;
+  match !result with
+  | Some v -> Checker.Violated v
+  | None -> Checker.No_violation { pairs = !count }

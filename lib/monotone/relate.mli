@@ -1,0 +1,37 @@
+(** Preservation classes and their correspondence with the monotonicity
+    classes (Section 3.2, Lemma 3.2: [H ⊊ Hinj = M ⊊ E = Mdistinct]). *)
+
+open Relational
+
+val extension_pair_violation :
+  Query.t -> whole:Instance.t -> part:Instance.t -> Fact.t option
+(** Preservation under extensions for one pair: when [part] is an induced
+    subinstance of [whole], a fact of [Q(part) \ Q(whole)] if any. [None]
+    when [part] is not induced in [whole]. *)
+
+val check_extensions_exhaustive :
+  ?bounds:Checker.bounds -> Query.t -> Checker.outcome
+(** Tests preservation under extensions over all instances within bounds
+    and all induced subinstances thereof (induced subinstances are in
+    bijection with subsets of the active domain). Violations are reported
+    in Mdistinct form: base = part, extension = whole \ part. *)
+
+val induced_iff_distinct : whole:Instance.t -> part:Instance.t -> bool
+(** The translation underlying [E = Mdistinct]: [part] is an induced
+    subinstance of [whole] iff [whole \ part] is domain-distinct from
+    [part] {b and} [part ⊆ whole]. Used as a tested lemma. *)
+
+val hom_pair_violation :
+  injective:bool -> Query.t -> Instance.t -> Instance.t ->
+  (Fact.t * Homomorphism.mapping) option
+(** Preservation under (injective) homomorphisms for one pair of
+    instances: searches all (injective) homomorphisms [h : I → J] for one
+    with [h(Q(I)) ⊄ Q(J)]... more precisely returns a fact [R(d̄) ∈ Q(I)]
+    with [R(h(d̄)) ∉ Q(J)], together with the homomorphism. *)
+
+val check_hom_exhaustive :
+  ?bounds:Checker.bounds -> injective:bool -> Query.t -> Checker.outcome
+(** Tests preservation under (injective) homomorphisms over pairs of
+    instances within bounds. Violations are reported with base = source
+    instance, extension = target instance, missing = the unpreserved
+    output fact. *)

@@ -1,0 +1,59 @@
+open Relational
+
+let still_violates q (v : Classes.violation) ~base ~extension =
+  Classes.check_pair v.kind q ~base ~extension
+
+(* One pass of greedy removals over a component (base or extension). *)
+let shrink_part q v ~get ~set =
+  let rec go v =
+    let facts = Instance.to_list (get v) in
+    let improved =
+      List.find_map
+        (fun f ->
+          let candidate = set v (Instance.remove f (get v)) in
+          match
+            still_violates q v ~base:candidate.Classes.base
+              ~extension:candidate.Classes.extension
+          with
+          | Some v' ->
+            Some
+              {
+                v' with
+                Classes.kind = v.Classes.kind;
+                bound = v.Classes.bound;
+              }
+          | None -> None)
+        facts
+    in
+    match improved with None -> v | Some v' -> go v'
+  in
+  go v
+
+let shrink q v =
+  let v =
+    shrink_part q v
+      ~get:(fun v -> v.Classes.base)
+      ~set:(fun v base -> { v with Classes.base = base })
+  in
+  shrink_part q v
+    ~get:(fun v -> v.Classes.extension)
+    ~set:(fun v extension -> { v with Classes.extension = extension })
+
+let is_minimal q v =
+  let removable get set =
+    List.exists
+      (fun f ->
+        let candidate = set (Instance.remove f (get ())) in
+        still_violates q v ~base:candidate.Classes.base
+          ~extension:candidate.Classes.extension
+        <> None)
+      (Instance.to_list (get ()))
+  in
+  (not
+     (removable
+        (fun () -> v.Classes.base)
+        (fun base -> { v with Classes.base = base })))
+  && not
+       (removable
+          (fun () -> v.Classes.extension)
+          (fun extension -> { v with Classes.extension = extension }))

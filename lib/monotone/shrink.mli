@@ -1,0 +1,20 @@
+(** Counterexample minimization.
+
+    Violations found by the checkers are already small (extensions are
+    enumerated smallest-first), but bases can carry irrelevant facts;
+    greedy fact removal yields certificates matching the paper's
+    hand-drawn pictures. *)
+
+open Relational
+
+val shrink : Query.t -> Classes.violation -> Classes.violation
+(** Greedily removes facts from the base and then from the extension while
+    the pair still violates the class condition. The result is a genuine
+    violation of the same kind with base and extension that are
+    fact-minimal (no single removal preserves the violation).
+    Admissibility is preserved by removal: shrinking the base only
+    enlarges the set of admissible extensions. *)
+
+val is_minimal : Query.t -> Classes.violation -> bool
+(** No single fact can be removed from base or extension while keeping a
+    violation. *)

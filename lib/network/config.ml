@@ -1,0 +1,156 @@
+open Relational
+
+type variant = {
+  with_policy : bool;
+  with_all : bool;
+  with_id : bool;
+}
+
+let original = { with_policy = false; with_all = true; with_id = true }
+let policy_aware = { with_policy = true; with_all = true; with_id = true }
+let all_free = { with_policy = true; with_all = false; with_id = true }
+let oblivious = { with_policy = false; with_all = false; with_id = false }
+
+type t = {
+  state : Instance.t Value.Map.t;
+  buffer : Multiset.t Value.Map.t;
+}
+
+let start network =
+  let network = Distributed.validate_network network in
+  {
+    state =
+      List.fold_left
+        (fun m x -> Value.Map.add x Instance.empty m)
+        Value.Map.empty network;
+    buffer =
+      List.fold_left
+        (fun m x -> Value.Map.add x Multiset.empty m)
+        Value.Map.empty network;
+  }
+
+let state_of t x =
+  match Value.Map.find_opt x t.state with
+  | Some s -> s
+  | None -> invalid_arg ("Config.state_of: unknown node " ^ Value.to_string x)
+
+let buffer_of t x =
+  match Value.Map.find_opt x t.buffer with
+  | Some b -> b
+  | None -> invalid_arg ("Config.buffer_of: unknown node " ^ Value.to_string x)
+
+let outputs schema t =
+  Value.Map.fold
+    (fun _ s acc ->
+      Instance.union (Instance.restrict s schema.Transducer_schema.output) acc)
+    t.state Instance.empty
+
+let equal a b =
+  Value.Map.equal Instance.equal a.state b.state
+  && Value.Map.equal Multiset.equal a.buffer b.buffer
+
+let compare a b =
+  let c = Value.Map.compare Instance.compare a.state b.state in
+  if c <> 0 then c else Value.Map.compare Multiset.compare a.buffer b.buffer
+
+type stats = {
+  messages_sent : int;
+  delivered : int;
+  new_state_facts : int;
+  sent_facts : Instance.t;
+  output_delta : Instance.t;
+}
+
+let system_facts variant policy network x a =
+  let open Transducer_schema in
+  let base = Instance.empty in
+  let base =
+    if variant.with_id then Instance.add (Fact.make id_rel [ x ]) base
+    else base
+  in
+  let base =
+    if variant.with_all then
+      List.fold_left
+        (fun acc y -> Instance.add (Fact.make all_rel [ y ]) acc)
+        base network
+    else base
+  in
+  if not variant.with_policy then base
+  else
+    let base =
+      Value.Set.fold
+        (fun v acc -> Instance.add (Fact.make myadom_rel [ v ]) acc)
+        a base
+    in
+    (* policy_R(a1..ak) for every R-fact over A that x is responsible
+       for. *)
+    List.fold_left
+      (fun acc f ->
+        if Policy.responsible policy x f then
+          Instance.add (Fact.make (policy_rel (Fact.rel f)) (Fact.args f)) acc
+        else acc)
+      base
+      (Schema.all_facts (Policy.schema policy) a)
+
+let transition ~variant ~policy ~transducer ~input t ~node:x ~deliver =
+  let schema = transducer.Transducer.schema in
+  let network = Policy.network policy in
+  if not (List.exists (Value.equal x) network) then
+    invalid_arg ("Config.transition: node not in network: " ^ Value.to_string x);
+  let buf_x = buffer_of t x in
+  if not (Multiset.sub deliver buf_x) then
+    invalid_arg "Config.transition: deliver is not a submultiset of the buffer";
+  let h = Policy.dist policy (Instance.restrict input schema.Transducer_schema.input) in
+  let local_input = Distributed.local h x in
+  let s1 = state_of t x in
+  let m = Instance.of_set (Multiset.support deliver) in
+  let j = Instance.union local_input (Instance.union s1 m) in
+  let a =
+    let from_j = Instance.adom j in
+    if variant.with_all then
+      List.fold_left (fun acc y -> Value.Set.add y acc) from_j network
+    else Value.Set.add x from_j
+  in
+  let s = system_facts variant policy network x a in
+  let d = Instance.union j s in
+  let out_new = Instance.restrict (transducer.Transducer.q_out d) schema.Transducer_schema.output in
+  let ins = Instance.restrict (transducer.Transducer.q_ins d) schema.Transducer_schema.memory in
+  let del = Instance.restrict (transducer.Transducer.q_del d) schema.Transducer_schema.memory in
+  let snd = Instance.restrict (transducer.Transducer.q_snd d) schema.Transducer_schema.message in
+  let mem1 = Instance.restrict s1 schema.Transducer_schema.memory in
+  let out1 = Instance.restrict s1 schema.Transducer_schema.output in
+  let mem2 =
+    Instance.diff
+      (Instance.union mem1 (Instance.diff ins del))
+      (Instance.diff del ins)
+  in
+  let out2 = Instance.union out1 out_new in
+  let s2 = Instance.union out2 mem2 in
+  let state = Value.Map.add x s2 t.state in
+  let snd_ms = Multiset.of_instance snd in
+  let recipients = List.filter (fun y -> not (Value.equal y x)) network in
+  let buffer =
+    Value.Map.mapi
+      (fun y b ->
+        if Value.equal y x then Multiset.diff b deliver
+        else if List.exists (Value.equal y) recipients then
+          Multiset.union b snd_ms
+        else b)
+      t.buffer
+  in
+  let stats =
+    {
+      messages_sent = Multiset.size snd_ms * List.length recipients;
+      delivered = Multiset.size deliver;
+      new_state_facts =
+        Instance.cardinal (Instance.diff s2 s1)
+        + Instance.cardinal (Instance.diff s1 s2);
+      sent_facts = snd;
+      output_delta = Instance.diff out2 out1;
+    }
+  in
+  ({ state; buffer }, stats)
+
+let heartbeat ~variant ~policy ~transducer ~input t ~node =
+  transition ~variant ~policy ~transducer ~input t ~node
+    ~deliver:Multiset.empty

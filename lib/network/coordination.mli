@@ -1,0 +1,43 @@
+(** Coordination-freeness (Definition 3).
+
+    A transducer that computes [Q] is coordination-free when, for every
+    network and input, {e some} policy lets {e some} node compute [Q(I)]
+    with only heartbeat transitions (no communication). The proofs always
+    use the "ideal" policy making one node responsible for everything —
+    which is domain-guided, so the same witness serves the domain-guided
+    notion. *)
+
+open Relational
+
+type witness = {
+  node : Value.t;
+  policy : Policy.t;
+  result : Run.result;
+}
+
+val heartbeat_witness :
+  ?max_steps:int ->
+  variant:Config.variant ->
+  transducer:Transducer.t ->
+  query:Query.t ->
+  input:Instance.t ->
+  Distributed.network ->
+  witness option
+(** Searches the network's nodes with the single-node (ideal, domain-
+    guided) policy for one whose heartbeat-only prefix already outputs
+    [Q(input)]. *)
+
+val is_coordination_free_on :
+  ?schedulers:(string * Run.scheduler) list ->
+  ?domain_guided_only:bool ->
+  ?max_rounds:int ->
+  variant:Config.variant ->
+  transducer:Transducer.t ->
+  query:Query.t ->
+  inputs:Instance.t list ->
+  Distributed.network ->
+  bool
+(** Both halves of Definition 3 over a finite sample: (1) the network
+    computes [Q] on every input under every scheduler × policy (restricted
+    to domain-guided policies when [domain_guided_only]); and (2) a
+    heartbeat witness exists for every input. *)

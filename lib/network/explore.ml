@@ -1,0 +1,140 @@
+open Relational
+
+type verdict =
+  | Consistent of { configs : int }
+  | Wrong_output of { config : Config.t; extra : Fact.t }
+  | Stuck of { config : Config.t; missing : Fact.t }
+  | Out_of_budget of { configs : int }
+
+module Cset = Set.Make (struct
+  type t = Config.t
+
+  let compare = Config.compare
+end)
+
+module Cmap = Map.Make (struct
+  type t = Config.t
+
+  let compare = Config.compare
+end)
+
+exception Found of verdict
+
+let check ?(max_configs = 20_000) ~variant ~policy ~transducer ~query ~input
+    () =
+  let network = Policy.network policy in
+  let expected = Query.apply query input in
+  let schema = transducer.Transducer.schema in
+  (* Configurations are canonicalized to buffer supports: fair senders
+     regenerate undelivered copies, and the transducers considered here
+     read only the support of what is delivered, so multiplicities add no
+     reachable knowledge states — but they would make the space
+     infinite. *)
+  let canonical config =
+    {
+      config with
+      Config.buffer =
+        Value.Map.map
+          (fun b ->
+            Fact.Set.fold
+              (fun f acc -> Multiset.add f acc)
+              (Multiset.support b) Multiset.empty)
+          config.Config.buffer;
+    }
+  in
+  let step config node deliver =
+    canonical
+      (fst
+         (Config.transition ~variant ~policy ~transducer ~input config ~node
+            ~deliver))
+  in
+  (* Complete per-node delivery choices: nothing, everything, or any
+     single buffered fact. Single-fact deliveries subsume arbitrary
+     submultisets for reachability of knowledge states: any submultiset
+     delivery is equivalent to a set of states reachable via singleton
+     deliveries interleaved with heartbeats, because D only sees the
+     support of what has been delivered and stored. *)
+  let successors config =
+    List.concat_map
+      (fun node ->
+        let buffer = Config.buffer_of config node in
+        let singletons =
+          Fact.Set.fold
+            (fun f acc -> Multiset.add f Multiset.empty :: acc)
+            (Multiset.support buffer) []
+        in
+        List.map (step config node) (Multiset.empty :: buffer :: singletons))
+      network
+  in
+  (* The canonical fair continuation: full-delivery round-robin rounds
+     until the round-level snapshot repeats; returns the final outputs. *)
+  let final_cache = ref Cmap.empty in
+  let full_round config =
+    List.fold_left
+      (fun config node -> step config node (Config.buffer_of config node))
+      config network
+  in
+  let snapshot c =
+    (c.Config.state, Value.Map.map Multiset.support c.Config.buffer)
+  in
+  let snapshot_equal (s1, b1) (s2, b2) =
+    Value.Map.equal Instance.equal s1 s2
+    && Value.Map.equal Fact.Set.equal b1 b2
+  in
+  let final_outputs config =
+    match Cmap.find_opt config !final_cache with
+    | Some o -> o
+    | None ->
+      let rec go prev c budget =
+        if budget = 0 then Config.outputs schema c
+        else
+          let c' = full_round c in
+          let snap = snapshot c' in
+          match prev with
+          | Some p when snapshot_equal p snap -> Config.outputs schema c'
+          | _ -> go (Some snap) c' (budget - 1)
+      in
+      let o = go None config 200 in
+      final_cache := Cmap.add config o !final_cache;
+      o
+  in
+  let inspect config =
+    let out = Config.outputs schema config in
+    (match Instance.to_list (Instance.diff out expected) with
+    | extra :: _ -> raise (Found (Wrong_output { config; extra }))
+    | [] -> ());
+    let final = final_outputs config in
+    match Instance.to_list (Instance.diff expected final) with
+    | missing :: _ -> raise (Found (Stuck { config; missing }))
+    | [] -> ()
+  in
+  let visited = ref Cset.empty in
+  let queue = Queue.create () in
+  let enqueue c =
+    if not (Cset.mem c !visited) then begin
+      visited := Cset.add c !visited;
+      Queue.add c queue
+    end
+  in
+  enqueue (Config.start network);
+  try
+    while not (Queue.is_empty queue) do
+      if Cset.cardinal !visited > max_configs then
+        raise (Found (Out_of_budget { configs = Cset.cardinal !visited }));
+      let config = Queue.pop queue in
+      inspect config;
+      List.iter enqueue (successors config)
+    done;
+    Consistent { configs = Cset.cardinal !visited }
+  with Found v -> v
+
+let verdict_to_string = function
+  | Consistent { configs } ->
+    Printf.sprintf "consistent (%d configurations exhausted)" configs
+  | Wrong_output { extra; _ } ->
+    Printf.sprintf "wrong output: %s" (Fact.to_string extra)
+  | Stuck { missing; _ } ->
+    Printf.sprintf "stuck: %s never produced" (Fact.to_string missing)
+  | Out_of_budget { configs } ->
+    Printf.sprintf "inconclusive: budget exhausted at %d configurations"
+      configs

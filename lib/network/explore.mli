@@ -1,0 +1,47 @@
+(** Bounded model checking of transducer networks.
+
+    {!Run} samples fair runs; this module {e exhausts} them on small
+    inputs: from the start configuration it explores every reachable
+    configuration under a complete set of delivery choices per active node
+    (heartbeat, full buffer, and each single buffered fact). Since output
+    facts are never retracted (Section 4.1.4), a single configuration
+    whose output leaves [Q(I)] refutes "the network computes Q" outright;
+    a quiescent configuration (a fixpoint under full delivery at every
+    node) with output short of [Q(I)] refutes it too. If neither occurs
+    and the state space is exhausted, every fair run — whatever the
+    message order — produces exactly [Q(I)].
+
+    This is the operational side of the eventual-consistency /
+    confluence decision problems studied by Ameloot and Van den Bussche
+    (papers [12,14] in the paper's bibliography). *)
+
+open Relational
+
+type verdict =
+  | Consistent of { configs : int }
+      (** state space exhausted; all runs compute [Q(input)] *)
+  | Wrong_output of { config : Config.t; extra : Fact.t }
+      (** some run produces a fact outside [Q(input)] *)
+  | Stuck of { config : Config.t; missing : Fact.t }
+      (** some run quiesces without having produced all of [Q(input)] *)
+  | Out_of_budget of { configs : int }
+      (** exploration cut off before exhausting the space *)
+
+val check :
+  ?max_configs:int ->
+  variant:Config.variant ->
+  policy:Policy.t ->
+  transducer:Transducer.t ->
+  query:Query.t ->
+  input:Instance.t ->
+  unit -> verdict
+(** [max_configs] defaults to 20_000. Exploration deduplicates
+    configurations after abstracting message buffers to their supports
+    (fair senders regenerate copies, and the transducer queries only see
+    the support of a delivery), and explores heartbeat, full-buffer, and
+    single-fact deliveries — complete for transducers that accumulate
+    deliveries in memory, which all of this library's strategies do. The
+    space is then finite whenever states grow monotonically over a finite
+    fact universe, so exploration terminates. *)
+
+val verdict_to_string : verdict -> string

@@ -1,0 +1,59 @@
+open Relational
+
+let default_schedulers =
+  [
+    ("round-robin", Run.Round_robin);
+    ("random", Run.Random { seed = 1; steps = 60 });
+    ("stingy", Run.Stingy { seed = 2; steps = 80 });
+  ]
+
+let default_policies ?(domain_guided_only = false) schema network =
+  let all =
+    [
+      Policy.hash_fact schema network;
+      Policy.first_attribute schema network;
+      Policy.hash_value schema network;
+      Policy.replicate_all schema network;
+      Policy.single schema network (List.hd network);
+    ]
+  in
+  if domain_guided_only then List.filter Policy.is_domain_guided all else all
+
+type verdict = {
+  expected : Instance.t;
+  runs : (string * Run.result) list;
+  mismatches : string list;
+  all_quiesced : bool;
+}
+
+let consistent v = v.mismatches = [] && v.all_quiesced
+
+let check ?(schedulers = default_schedulers) ?policies ?max_rounds ~variant
+    ~transducer ~query ~input network =
+  let policies =
+    match policies with
+    | Some ps -> ps
+    | None -> default_policies query.Query.input network
+  in
+  let expected = Query.apply query input in
+  let runs =
+    List.concat_map
+      (fun policy ->
+        List.map
+          (fun (sname, sched) ->
+            let label = Policy.name policy ^ "/" ^ sname in
+            let result =
+              Run.run ?max_rounds ~variant ~policy ~transducer ~input sched
+            in
+            (label, result))
+          schedulers)
+      policies
+  in
+  let mismatches =
+    List.filter_map
+      (fun (label, r) ->
+        if Instance.equal r.Run.outputs expected then None else Some label)
+      runs
+  in
+  let all_quiesced = List.for_all (fun (_, r) -> r.Run.quiesced) runs in
+  { expected; runs; mismatches; all_quiesced }

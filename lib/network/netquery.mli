@@ -1,0 +1,37 @@
+(** "A transducer network computes a query" (Section 4.1.4): every fair
+    run on every network/policy produces exactly [Q(I)] as its union of
+    outputs. This module checks that property over a finite battery of
+    schedulers and policies. *)
+
+open Relational
+
+val default_schedulers : (string * Run.scheduler) list
+
+val default_policies :
+  ?domain_guided_only:bool -> Schema.t -> Distributed.network ->
+  Policy.t list
+(** hash-fact, first-attribute, hash-value, replicate-all, and single-node
+    policies (only the domain-guided ones when restricted). *)
+
+type verdict = {
+  expected : Instance.t;
+  runs : (string * Run.result) list;   (** "<policy>/<scheduler>" label *)
+  mismatches : string list;            (** labels whose output ≠ expected *)
+  all_quiesced : bool;
+}
+
+val consistent : verdict -> bool
+(** No mismatches and every run quiesced. *)
+
+val check :
+  ?schedulers:(string * Run.scheduler) list ->
+  ?policies:Policy.t list ->
+  ?max_rounds:int ->
+  variant:Config.variant ->
+  transducer:Transducer.t ->
+  query:Query.t ->
+  input:Instance.t ->
+  Distributed.network -> verdict
+(** Runs the transducer network on the input under every
+    scheduler × policy combination and compares the accumulated output
+    against [Q(input)]. *)

@@ -1,0 +1,158 @@
+open Relational
+
+type scheduler =
+  | Round_robin
+  | Random of { seed : int; steps : int }
+  | Stingy of { seed : int; steps : int }
+
+type result = {
+  config : Config.t;
+  outputs : Instance.t;
+  transitions : int;
+  rounds : int;
+  messages_sent : int;
+  deliveries : int;
+  quiesced : bool;
+}
+
+type counters = {
+  mutable n_transitions : int;
+  mutable n_messages : int;
+  mutable n_deliveries : int;
+}
+
+let snapshot config =
+  ( config.Config.state,
+    Value.Map.map Multiset.support config.Config.buffer )
+
+let snapshot_equal (s1, b1) (s2, b2) =
+  Value.Map.equal Instance.equal s1 s2 && Value.Map.equal Fact.Set.equal b1 b2
+
+let step ?tracer ~variant ~policy ~transducer ~input counters config node
+    deliver =
+  let config', stats =
+    Config.transition ~variant ~policy ~transducer ~input config ~node
+      ~deliver
+  in
+  counters.n_transitions <- counters.n_transitions + 1;
+  counters.n_messages <- counters.n_messages + stats.Config.messages_sent;
+  counters.n_deliveries <- counters.n_deliveries + stats.Config.delivered;
+  (match tracer with
+  | None -> ()
+  | Some c ->
+    Trace.record c
+      {
+        Trace.index = counters.n_transitions;
+        node;
+        delivered = Fact.Set.elements (Multiset.support deliver);
+        sent = Instance.to_list stats.Config.sent_facts;
+        output_delta = Instance.to_list stats.Config.output_delta;
+      });
+  config'
+
+(* One full-delivery round-robin round. *)
+let full_round ?tracer ~variant ~policy ~transducer ~input counters config =
+  List.fold_left
+    (fun config node ->
+      let deliver = Config.buffer_of config node in
+      step ?tracer ~variant ~policy ~transducer ~input counters config node
+        deliver)
+    config
+    (Policy.network policy)
+
+let random_submultiset st b =
+  Multiset.fold
+    (fun f n acc ->
+      let keep = Random.State.int st (n + 1) in
+      Multiset.add ~copies:keep f acc)
+    b Multiset.empty
+
+let random_phase ?tracer ~variant ~policy ~transducer ~input ~stingy counters
+    st steps config =
+  let network = Array.of_list (Policy.network policy) in
+  let pick () = network.(Random.State.int st (Array.length network)) in
+  let rec go k config =
+    if k = 0 then config
+    else
+      let node = pick () in
+      let b = Config.buffer_of config node in
+      let deliver =
+        if stingy then
+          match Multiset.to_list b with
+          | [] -> Multiset.empty
+          | l ->
+            Multiset.add (List.nth l (Random.State.int st (List.length l)))
+              Multiset.empty
+        else random_submultiset st b
+      in
+      go (k - 1)
+        (step ?tracer ~variant ~policy ~transducer ~input counters config node
+           deliver)
+  in
+  go steps config
+
+let run ?tracer ?(max_rounds = 500) ~variant ~policy ~transducer ~input
+    scheduler =
+  let counters = { n_transitions = 0; n_messages = 0; n_deliveries = 0 } in
+  let config0 = Config.start (Policy.network policy) in
+  let config0 =
+    match scheduler with
+    | Round_robin -> config0
+    | Random { seed; steps } ->
+      random_phase ?tracer ~variant ~policy ~transducer ~input ~stingy:false
+        counters
+        (Random.State.make [| seed |])
+        steps config0
+    | Stingy { seed; steps } ->
+      random_phase ?tracer ~variant ~policy ~transducer ~input ~stingy:true
+        counters
+        (Random.State.make [| seed |])
+        steps config0
+  in
+  let rec stabilize rounds prev config =
+    if rounds >= max_rounds then (config, rounds, false)
+    else
+      let config' =
+        full_round ?tracer ~variant ~policy ~transducer ~input counters config
+      in
+      let snap = snapshot config' in
+      match prev with
+      | Some p when snapshot_equal p snap -> (config', rounds + 1, true)
+      | _ -> stabilize (rounds + 1) (Some snap) config'
+  in
+  let config, rounds, quiesced = stabilize 0 None config0 in
+  {
+    config;
+    outputs = Config.outputs transducer.Transducer.schema config;
+    transitions = counters.n_transitions;
+    rounds;
+    messages_sent = counters.n_messages;
+    deliveries = counters.n_deliveries;
+    quiesced;
+  }
+
+let heartbeat_prefix ?tracer ?(max_steps = 200) ~variant ~policy ~transducer
+    ~input ~node () =
+  let counters = { n_transitions = 0; n_messages = 0; n_deliveries = 0 } in
+  let config0 = Config.start (Policy.network policy) in
+  let rec go k config =
+    if k >= max_steps then (config, false)
+    else
+      let config' =
+        step ?tracer ~variant ~policy ~transducer ~input counters config node
+          Multiset.empty
+      in
+      if Instance.equal (Config.state_of config' node) (Config.state_of config node)
+      then (config', true)
+      else go (k + 1) config'
+  in
+  let config, quiesced = go 0 config0 in
+  {
+    config;
+    outputs = Config.outputs transducer.Transducer.schema config;
+    transitions = counters.n_transitions;
+    rounds = 0;
+    messages_sent = counters.n_messages;
+    deliveries = counters.n_deliveries;
+    quiesced;
+  }

@@ -1,0 +1,61 @@
+(** Runs of transducer networks (Section 4.1.3).
+
+    Paper runs are infinite and fair; terminating computations reach
+    {e quiescence}: a configuration whose observable evolution is a
+    fixpoint. We detect it as two consecutive full-delivery round-robin
+    rounds with identical states and buffer supports — from such a point
+    the run repeats verbatim forever, so the accumulated output equals
+    [out(R)] of every fair continuation.
+
+    Schedulers realize different fair message orders; all of them finish
+    with full-delivery round-robin rounds so that runs terminate whenever
+    the transducer quiesces. *)
+
+open Relational
+
+type scheduler =
+  | Round_robin
+      (** each round activates every node once, delivering its whole
+          buffer *)
+  | Random of { seed : int; steps : int }
+      (** [steps] transitions at random nodes delivering random
+          submultisets, then round-robin to quiescence *)
+  | Stingy of { seed : int; steps : int }
+      (** like [Random] but delivers at most one message copy per
+          transition — maximal reordering/delay *)
+
+type result = {
+  config : Config.t;
+  outputs : Instance.t;
+  transitions : int;
+  rounds : int;
+  messages_sent : int;
+  deliveries : int;
+  quiesced : bool;
+}
+
+val run :
+  ?tracer:Trace.collector ->
+  ?max_rounds:int ->
+  variant:Config.variant ->
+  policy:Policy.t ->
+  transducer:Transducer.t ->
+  input:Instance.t ->
+  scheduler -> result
+(** [max_rounds] (default 500) bounds the stabilization phase; a result
+    with [quiesced = false] hit the bound. *)
+
+val heartbeat_prefix :
+  ?tracer:Trace.collector ->
+  ?max_steps:int ->
+  variant:Config.variant ->
+  policy:Policy.t ->
+  transducer:Transducer.t ->
+  input:Instance.t ->
+  node:Value.t ->
+  unit -> result
+(** A run prefix consisting solely of heartbeat transitions of one node
+    (Definition 3's "prefix of only heartbeat transitions"): no message is
+    ever read. Stops when the node's state stops changing (or at
+    [max_steps], default 200). [outputs] are the node's accumulated output
+    facts; [quiesced] reports stabilization. *)

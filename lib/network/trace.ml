@@ -1,0 +1,45 @@
+open Relational
+
+type event = {
+  index : int;
+  node : Value.t;
+  delivered : Fact.t list;
+  sent : Fact.t list;
+  output_delta : Fact.t list;
+}
+
+type collector = event list ref
+
+let collector () = ref []
+let record c e = c := e :: !c
+let events c = List.rev !c
+
+let outputs_timeline c =
+  List.concat_map
+    (fun e -> List.map (fun f -> (e.index, f)) e.output_delta)
+    (events c)
+
+let pp_facts ppf facts =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+    Fact.pp ppf facts
+
+let pp_event ppf e =
+  Format.fprintf ppf "@[<v 2>#%d @ node %a:" e.index Value.pp e.node;
+  if e.delivered <> [] then
+    Format.fprintf ppf "@ recv  %a" pp_facts e.delivered;
+  if e.sent <> [] then Format.fprintf ppf "@ send  %a" pp_facts e.sent;
+  if e.output_delta <> [] then
+    Format.fprintf ppf "@ OUT   %a" pp_facts e.output_delta;
+  Format.fprintf ppf "@]"
+
+let pp_summary ?(limit = 20) ppf c =
+  let interesting =
+    List.filter
+      (fun e -> e.delivered <> [] || e.sent <> [] || e.output_delta <> [])
+      (events c)
+  in
+  let shown = List.filteri (fun i _ -> i < limit) interesting in
+  List.iter (fun e -> Format.fprintf ppf "%a@." pp_event e) shown;
+  let rest = List.length interesting - List.length shown in
+  if rest > 0 then Format.fprintf ppf "... and %d more events@." rest

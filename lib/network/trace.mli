@@ -1,0 +1,28 @@
+(** Structured run traces: one event per transition, for protocol
+    inspection in the examples and for debugging transducers. *)
+
+open Relational
+
+type event = {
+  index : int;           (** transition number within the run *)
+  node : Value.t;        (** the active node *)
+  delivered : Fact.t list;   (** support of the delivered submultiset *)
+  sent : Fact.t list;        (** facts broadcast by this transition *)
+  output_delta : Fact.t list;  (** output facts first produced here *)
+}
+
+type collector
+
+val collector : unit -> collector
+val record : collector -> event -> unit
+val events : collector -> event list
+(** In transition order. *)
+
+val outputs_timeline : collector -> (int * Fact.t) list
+(** [(transition index, fact)] for every output fact, in order. *)
+
+val pp_event : Format.formatter -> event -> unit
+
+val pp_summary : ?limit:int -> Format.formatter -> collector -> unit
+(** The first [limit] (default 20) non-trivial events (those that
+    delivered, sent, or output something). *)

@@ -1,0 +1,68 @@
+open Relational
+
+type t = {
+  schema : Transducer_schema.t;
+  q_out : Instance.t -> Instance.t;
+  q_ins : Instance.t -> Instance.t;
+  q_del : Instance.t -> Instance.t;
+  q_snd : Instance.t -> Instance.t;
+}
+
+let nothing (_ : Instance.t) = Instance.empty
+
+let make ~schema ?(out = nothing) ?(ins = nothing) ?(del = nothing)
+    ?(snd = nothing) () =
+  { schema; q_out = out; q_ins = ins; q_del = del; q_snd = snd }
+
+(* A Datalog component derives into relations [<prefix><R>] (e.g.
+   [Ins_Seen]); the prefix is stripped and the fact lands in target
+   relation [R]. The namespacing keeps "what the query derives" apart from
+   "what is currently stored", which matters for deletion queries that read
+   the very relation they delete from. *)
+let strip_prefix ~prefix name =
+  let pl = String.length prefix in
+  if String.length name > pl && String.sub name 0 pl = prefix then
+    Some (String.sub name pl (String.length name - pl))
+  else None
+
+let datalog_component ~prefix ~target src =
+  match src with
+  | None -> nothing
+  | Some src ->
+    let rules =
+      try Datalog.Adom.augment (Datalog.Parser.parse_program src)
+      with Datalog.Parser.Syntax_error { line; message } ->
+        invalid_arg
+          (Printf.sprintf "Transducer.of_datalog: line %d: %s" line message)
+    in
+    (match Datalog.Stratify.stratify rules with
+    | Ok _ -> ()
+    | Error e -> invalid_arg ("Transducer.of_datalog: " ^ e));
+    fun d ->
+      let full = Datalog.Eval.stratified_exn rules d in
+      Instance.fold
+        (fun f acc ->
+          match strip_prefix ~prefix (Fact.rel f) with
+          | None -> acc
+          | Some base ->
+            let renamed = Fact.make base (Fact.args f) in
+            if Schema.fact_over target renamed then Instance.add renamed acc
+            else acc)
+        full Instance.empty
+
+let of_datalog ~schema ?out ?ins ?del ?snd () =
+  {
+    schema;
+    q_out =
+      datalog_component ~prefix:"Out_"
+        ~target:schema.Transducer_schema.output out;
+    q_ins =
+      datalog_component ~prefix:"Ins_"
+        ~target:schema.Transducer_schema.memory ins;
+    q_del =
+      datalog_component ~prefix:"Del_"
+        ~target:schema.Transducer_schema.memory del;
+    q_snd =
+      datalog_component ~prefix:"Snd_"
+        ~target:schema.Transducer_schema.message snd;
+  }

@@ -1,0 +1,91 @@
+open Relational
+
+type status =
+  | Won
+  | Lost
+  | Drawn
+
+let status_to_string = function
+  | Won -> "won"
+  | Lost -> "lost"
+  | Drawn -> "drawn"
+
+(* Retrograde analysis: start from terminal positions (no moves = Lost)
+   and propagate backwards. A position becomes Won as soon as one
+   successor is Lost; it becomes Lost once all successors are Won.
+   Unlabelled positions at fixpoint are Drawn. *)
+let solve i =
+  let moves = Instance.restrict_rels i [ "Move" ] in
+  let succs =
+    Instance.fold
+      (fun f acc ->
+        Value.Map.update (Fact.arg f 0)
+          (function
+            | None -> Some [ Fact.arg f 1 ]
+            | Some l -> Some (Fact.arg f 1 :: l))
+          acc)
+      moves Value.Map.empty
+  in
+  let vertices = Value.Set.elements (Instance.adom moves) in
+  let succ x =
+    match Value.Map.find_opt x succs with Some l -> l | None -> []
+  in
+  let label = Hashtbl.create 16 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun x ->
+        if not (Hashtbl.mem label x) then begin
+          let ss = succ x in
+          let status_of y = Hashtbl.find_opt label y in
+          if List.exists (fun y -> status_of y = Some Lost) ss then begin
+            Hashtbl.replace label x Won;
+            changed := true
+          end
+          else if List.for_all (fun y -> status_of y = Some Won) ss then begin
+            (* includes the terminal case ss = [] *)
+            Hashtbl.replace label x Lost;
+            changed := true
+          end
+        end)
+      vertices
+  done;
+  List.fold_left
+    (fun acc x ->
+      let s =
+        match Hashtbl.find_opt label x with Some s -> s | None -> Drawn
+      in
+      Value.Map.add x s acc)
+    Value.Map.empty vertices
+
+let positions status i =
+  Value.Map.fold
+    (fun x s acc -> if s = status then Value.Set.add x acc else acc)
+    (solve i) Value.Set.empty
+
+let facts_of rel vs =
+  Value.Set.fold
+    (fun x acc -> Instance.add (Fact.make rel [ x ]) acc)
+    vs Instance.empty
+
+let move_schema = Schema.of_list [ ("Move", 2) ]
+
+let winners_query =
+  Query.make ~name:"game-winners" ~input:move_schema
+    ~output:(Schema.of_list [ ("Win", 1) ])
+    (fun i -> facts_of "Win" (positions Won i))
+
+let losers_query =
+  Query.make ~name:"game-losers" ~input:move_schema
+    ~output:(Schema.of_list [ ("Lose", 1) ])
+    (fun i -> facts_of "Lose" (positions Lost i))
+
+let agrees_with_wellfounded i =
+  let p = Datalog.Parser.parse_program "Win(x) :- Move(x,y), not Win(y)." in
+  let m = Datalog.Wellfounded.eval p i in
+  let wf_true = Instance.restrict_rels m.Datalog.Wellfounded.true_facts [ "Win" ] in
+  let wf_undef = Instance.restrict_rels m.Datalog.Wellfounded.undefined [ "Win" ] in
+  let won = facts_of "Win" (positions Won i) in
+  let drawn = facts_of "Win" (positions Drawn i) in
+  Instance.equal won wf_true && Instance.equal drawn wf_undef

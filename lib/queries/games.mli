@@ -1,0 +1,32 @@
+(** Two-player game analysis over the [Move] relation.
+
+    Win-move's well-founded semantics three-values positions: won
+    ([Win(x)] true), lost (false), drawn (undefined). This module solves
+    games by {e retrograde analysis} (Zermelo's backward induction) — an
+    algorithm independent of both the alternating-fixpoint engine and the
+    {!Zoo.winmove} query, used to cross-check them. *)
+
+open Relational
+
+type status =
+  | Won   (** some move reaches a Lost position *)
+  | Lost  (** every move (possibly none) reaches a Won position *)
+  | Drawn (** neither, on account of cycles *)
+
+val status_to_string : status -> string
+
+val solve : Instance.t -> status Value.Map.t
+(** Status of every position (value occurring in a [Move] fact). *)
+
+val positions : status -> Instance.t -> Value.Set.t
+
+val winners_query : Query.t
+(** [Win/1] facts for the Won positions — extensionally equal to
+    {!Zoo.winmove} (tested property). *)
+
+val losers_query : Query.t
+(** [Lose/1] facts for the Lost positions. Also in Mdisjoint. *)
+
+val agrees_with_wellfounded : Instance.t -> bool
+(** Cross-check on one game: retrograde Won = WFS true facts, retrograde
+    Drawn = WFS undefined facts. *)

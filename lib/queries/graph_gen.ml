@@ -1,0 +1,62 @@
+open Relational
+
+let schema = Schema.of_list [ ("E", 2) ]
+let edge a b = Fact.make "E" [ Value.Int a; Value.Int b ]
+let of_edges l = Instance.of_list (List.map (fun (a, b) -> edge a b) l)
+let path n = of_edges (List.init n (fun i -> (i, i + 1)))
+
+let cycle n =
+  if n <= 0 then Instance.empty
+  else of_edges (List.init n (fun i -> (i, (i + 1) mod n)))
+
+let clique ?(offset = 0) n =
+  let pairs = ref [] in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then pairs := (offset + i, offset + j) :: !pairs
+    done
+  done;
+  of_edges !pairs
+
+let star ?(center = 0) ?(first_spoke = 1) k =
+  of_edges (List.init k (fun i -> (center, first_spoke + i)))
+
+let random_edges ~rel ~seed ~nodes ~edges =
+  let st = Random.State.make [| seed |] in
+  List.init edges (fun _ ->
+      Fact.make rel
+        [
+          Value.Int (Random.State.int st (max nodes 1));
+          Value.Int (Random.State.int st (max nodes 1));
+        ])
+  |> Instance.of_list
+
+let erdos_renyi ~seed ~nodes ~edges = random_edges ~rel:"E" ~seed ~nodes ~edges
+
+let max_int_value i =
+  Instance.fold
+    (fun f acc ->
+      List.fold_left
+        (fun acc v ->
+          match v with
+          | Value.Int x -> max acc x
+          | _ -> invalid_arg "Graph_gen.disjoint_union: non-integer vertex")
+        acc (Fact.args f))
+    i min_int
+
+let disjoint_union a b =
+  if Instance.is_empty a then b
+  else if Instance.is_empty b then a
+  else
+    let shift = max_int_value a + 1 - min 0 (max_int_value b * 0) in
+    let shifted =
+      Instance.map_values
+        (fun v ->
+          match v with
+          | Value.Int x -> Value.Int (x + shift + 1_000)
+          | _ -> invalid_arg "Graph_gen.disjoint_union: non-integer vertex")
+        b
+    in
+    Instance.union a shifted
+
+let game ~seed ~nodes ~edges = random_edges ~rel:"Move" ~seed ~nodes ~edges

@@ -1,0 +1,35 @@
+(** Seeded graph generators over the binary edge relation [E] (the input
+    schema of almost every query in the paper). *)
+
+open Relational
+
+val schema : Schema.t
+(** [{E/2}]. *)
+
+val edge : int -> int -> Fact.t
+val of_edges : (int * int) list -> Instance.t
+
+val path : int -> Instance.t
+(** [path n]: edges 0→1→...→n. *)
+
+val cycle : int -> Instance.t
+(** [cycle n]: a directed cycle on vertices 0..n-1. *)
+
+val clique : ?offset:int -> int -> Instance.t
+(** [clique n]: all edges between [n] distinct vertices (both directions,
+    no self-loops), vertices [offset..offset+n-1]. *)
+
+val star : ?center:int -> ?first_spoke:int -> int -> Instance.t
+(** [star k]: edges center→spoke for [k] spokes. *)
+
+val erdos_renyi : seed:int -> nodes:int -> edges:int -> Instance.t
+(** [edges] directed edges sampled uniformly with replacement (self-loops
+    allowed), deterministic in [seed]. *)
+
+val disjoint_union : Instance.t -> Instance.t -> Instance.t
+(** Union after shifting the second instance's integer vertices past the
+    first's maximum, making the two parts domain-disjoint.
+    @raise Invalid_argument if either instance has non-integer values. *)
+
+val game : seed:int -> nodes:int -> edges:int -> Instance.t
+(** Like {!erdos_renyi} but over the [Move] relation (for win-move). *)

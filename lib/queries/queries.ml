@@ -1,0 +1,6 @@
+(** The paper's query zoo and graph generators. *)
+
+module Graph_gen = Graph_gen
+module Zoo = Zoo
+module Wilog_zoo = Wilog_zoo
+module Games = Games

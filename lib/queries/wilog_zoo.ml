@@ -1,0 +1,25 @@
+let tagged_edges =
+  "Tag(*, x, y) :- E(x, y).\n\
+   O(x, y) :- Tag(t, x, y)."
+
+let sinks_of_sources =
+  "Tag(*, x, y) :- E(x, y).\n\
+   HasOut(x) :- Tag(t, x, y).\n\
+   O(x, w) :- HasOut(x), Adom(w), not HasOut(w)."
+
+let unsafe_leak = "O(*, x) :- V(x)."
+
+let divergent_counter =
+  "N(*, x) :- V(x).\n\
+   N(*, n) :- N(n, x)."
+
+let force_query name src =
+  match
+    Datalog.Ilog.query ~name ~outputs:[ "O" ]
+      (Datalog.Parser.parse_program src)
+  with
+  | Ok q -> q
+  | Error e -> invalid_arg ("Wilog_zoo: " ^ name ^ ": " ^ e)
+
+let tagged_edges_query = force_query "tagged-edges" tagged_edges
+let sinks_of_sources_query = force_query "sinks-of-sources" sinks_of_sources

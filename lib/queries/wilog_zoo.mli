@@ -1,0 +1,26 @@
+(** Sample wILOG¬ programs (Section 5.2) for the Theorem 5.4 experiments:
+    value invention with weak safety, across the SP / connected /
+    semi-connected spectrum. *)
+
+open Relational
+
+val tagged_edges : string
+(** Connected SP-wILOG: invent a tag per edge, project the edge back.
+    Computes the identity on [E] (monotone); exercises invention and weak
+    safety end to end. *)
+
+val sinks_of_sources : string
+(** Semicon-wILOG¬: invention in the first stratum, one unconnected
+    negated rule in the last. Outputs [O(x,w)] for [x] with an outgoing
+    edge and [w] without one — in Mdisjoint \ Mdistinct. *)
+
+val unsafe_leak : string
+(** Not weakly safe: the invented value reaches the output relation. *)
+
+val divergent_counter : string
+(** Weakly-safe-looking but divergent: recursive invention builds an
+    infinite successor chain. Output undefined (paper's convention). *)
+
+val tagged_edges_query : Query.t
+val sinks_of_sources_query : Query.t
+(** The two well-behaved programs packaged as queries ([O] output). *)

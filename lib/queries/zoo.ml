@@ -1,0 +1,321 @@
+open Relational
+
+let graph_schema = Graph_gen.schema
+
+module Pair_set = Set.Make (struct
+  type t = Value.t * Value.t
+
+  let compare (a, b) (c, d) =
+    let x = Value.compare a c in
+    if x <> 0 then x else Value.compare b d
+end)
+
+(* ------------------------------------------------------------------ *)
+(* Undirected helpers *)
+
+let undirected_neighbours i =
+  Instance.fold
+    (fun f acc ->
+      if Fact.rel f <> "E" || Fact.arity f <> 2 then acc
+      else
+        let a = Fact.arg f 0 and b = Fact.arg f 1 in
+        if Value.equal a b then acc
+        else
+          let link x y m =
+            Value.Map.update x
+              (function
+                | None -> Some (Value.Set.singleton y)
+                | Some s -> Some (Value.Set.add y s))
+              m
+          in
+          link a b (link b a acc))
+    i Value.Map.empty
+
+let has_clique i k =
+  if k <= 1 then not (Instance.is_empty i)
+  else
+    let adj = undirected_neighbours i in
+    let vertices = List.map fst (Value.Map.bindings adj) in
+    let adjacent a b =
+      match Value.Map.find_opt a adj with
+      | Some s -> Value.Set.mem b s
+      | None -> false
+    in
+    (* Extend a clique only with vertices after the last chosen one
+       (vertices are sorted), avoiding permutation blowup. *)
+    let rec extend clique rest need =
+      if need = 0 then true
+      else
+        match rest with
+        | [] -> false
+        | v :: rest' ->
+          (List.for_all (adjacent v) clique
+          && extend (v :: clique) rest' (need - 1))
+          || extend clique rest' need
+    in
+    extend [] vertices k
+
+let has_star i k =
+  let adj = undirected_neighbours i in
+  Value.Map.exists (fun _ s -> Value.Set.cardinal s >= k) adj
+
+let triangles i =
+  let out = ref Instance.empty in
+  let edges = Instance.to_list (Instance.restrict_rels i [ "E" ]) in
+  let mem a b = Instance.mem (Fact.make "E" [ a; b ]) i in
+  List.iter
+    (fun f ->
+      let x = Fact.arg f 0 and y = Fact.arg f 1 in
+      if not (Value.equal x y) then
+        List.iter
+          (fun g ->
+            let y' = Fact.arg g 0 and z = Fact.arg g 1 in
+            if
+              Value.equal y y'
+              && (not (Value.equal y z))
+              && (not (Value.equal x z))
+              && mem z x
+            then out := Instance.add (Fact.make "O" [ x; y; z ]) !out)
+          edges)
+    edges;
+  !out
+
+(* ------------------------------------------------------------------ *)
+(* Queries *)
+
+(* Reachable pairs of the edge relation, as a set. *)
+let reachable_pairs i =
+  let base =
+    Instance.fold
+      (fun f acc ->
+        if Fact.rel f = "E" then Pair_set.add (Fact.arg f 0, Fact.arg f 1) acc
+        else acc)
+      i Pair_set.empty
+  in
+  let rec fix reach =
+    let next =
+      Pair_set.fold
+        (fun (a, b) acc ->
+          Pair_set.fold
+            (fun (b', c) acc ->
+              if Value.equal b b' then Pair_set.add (a, c) acc else acc)
+            base acc)
+        reach reach
+    in
+    if Pair_set.equal next reach then reach else fix next
+  in
+  fix base
+
+let facts_of_pairs rel ps =
+  Pair_set.fold
+    (fun (a, b) acc -> Instance.add (Fact.make rel [ a; b ]) acc)
+    ps Instance.empty
+
+let tc =
+  Query.make ~name:"tc" ~input:graph_schema
+    ~output:(Schema.of_list [ ("T", 2) ])
+    (fun i -> facts_of_pairs "T" (reachable_pairs i))
+
+let comp_tc =
+  Query.make ~name:"comp-tc" ~input:graph_schema
+    ~output:(Schema.of_list [ ("O", 2) ])
+    (fun i ->
+      let reach = reachable_pairs i in
+      let dom = Value.Set.elements (Instance.adom i) in
+      List.fold_left
+        (fun acc a ->
+          List.fold_left
+            (fun acc b ->
+              if Pair_set.mem (a, b) reach then acc
+              else Instance.add (Fact.make "O" [ a; b ]) acc)
+            acc dom)
+        Instance.empty dom)
+
+let edges_as_output i =
+  Instance.fold
+    (fun f acc ->
+      if Fact.rel f = "E" then
+        Instance.add (Fact.make "O" (Fact.args f)) acc
+      else acc)
+    i Instance.empty
+
+let q_clique k =
+  Query.make
+    ~name:(Printf.sprintf "q-clique-%d" k)
+    ~input:graph_schema
+    ~output:(Schema.of_list [ ("O", 2) ])
+    (fun i -> if has_clique i k then Instance.empty else edges_as_output i)
+
+let q_star k =
+  Query.make
+    ~name:(Printf.sprintf "q-star-%d" k)
+    ~input:graph_schema
+    ~output:(Schema.of_list [ ("O", 2) ])
+    (fun i -> if has_star i k then Instance.empty else edges_as_output i)
+
+let duplicate_schema j =
+  Schema.of_list (List.init j (fun k -> (Printf.sprintf "R%d" (k + 1), 2)))
+
+let q_duplicate j =
+  Query.make
+    ~name:(Printf.sprintf "q-duplicate-%d" j)
+    ~input:(duplicate_schema j)
+    ~output:(Schema.of_list [ ("O", 2) ])
+    (fun i ->
+      let tuples rel =
+        Instance.fold
+          (fun f acc ->
+            if Fact.rel f = rel then
+              Pair_set.add (Fact.arg f 0, Fact.arg f 1) acc
+            else acc)
+          i Pair_set.empty
+      in
+      let inter =
+        List.fold_left
+          (fun acc k ->
+            Pair_set.inter acc (tuples (Printf.sprintf "R%d" (k + 2))))
+          (tuples "R1")
+          (List.init (j - 1) Fun.id)
+      in
+      if Pair_set.is_empty inter then
+        Instance.fold
+          (fun f acc ->
+            if Fact.rel f = "R1" then
+              Instance.add (Fact.make "O" (Fact.args f)) acc
+            else acc)
+          i Instance.empty
+      else Instance.empty)
+
+let triangles_unless_two_disjoint =
+  Query.make ~name:"triangles-unless-two-disjoint" ~input:graph_schema
+    ~output:(Schema.of_list [ ("O", 3) ])
+    (fun i ->
+      let ts = triangles i in
+      (* Two domain-disjoint triangles: two O-facts sharing no vertex. *)
+      let facts = Instance.to_list ts in
+      let disjoint_pair_exists =
+        List.exists
+          (fun f ->
+            List.exists
+              (fun g ->
+                Value.Set.is_empty
+                  (Value.Set.inter (Fact.adom f) (Fact.adom g)))
+              facts)
+          facts
+      in
+      if disjoint_pair_exists then Instance.empty else ts)
+
+(* Win-move: alternating fixpoint over the Move graph, independent of the
+   Datalog engine so that engine and query can cross-check each other. *)
+let winmove_schema = Schema.of_list [ ("Move", 2) ]
+
+let winmove =
+  Query.make ~name:"win-move" ~input:winmove_schema
+    ~output:(Schema.of_list [ ("Win", 1) ])
+    (fun i ->
+      let moves =
+        Instance.fold
+          (fun f acc ->
+            if Fact.rel f = "Move" then
+              Value.Map.update (Fact.arg f 0)
+                (function
+                  | None -> Some [ Fact.arg f 1 ]
+                  | Some l -> Some (Fact.arg f 1 :: l))
+                acc
+            else acc)
+          i Value.Map.empty
+      in
+      let succ x =
+        match Value.Map.find_opt x moves with Some l -> l | None -> []
+      in
+      let vertices = Value.Set.elements (Instance.adom i) in
+      (* Alternating fixpoint on the set of won positions: won(x) iff some
+         successor is not in the current overestimate of "possibly won". *)
+      let step possibly_won =
+        List.filter
+          (fun x ->
+            List.exists (fun y -> not (Value.Set.mem y possibly_won)) (succ x))
+          vertices
+        |> Value.Set.of_list
+      in
+      let rec fix under over =
+        let under' = step over in
+        let over' = step under' in
+        if Value.Set.equal under under' && Value.Set.equal over over' then
+          under
+        else fix under' over'
+      in
+      let won = fix Value.Set.empty (step Value.Set.empty) in
+      Value.Set.fold
+        (fun x acc -> Instance.add (Fact.make "Win" [ x ]) acc)
+        won Instance.empty)
+
+(* The doubled-program evaluation of win-move: one connected SP-Datalog
+   step program, iterated. The step reads the previous round's win set as
+   an edb relation P, so each round is an honest stratified evaluation;
+   the OCaml loop plays the role of the program doubling. *)
+let winmove_doubled =
+  let step_program =
+    Datalog.Parser.parse_program "W(x) :- Move(x,y), not P(y)."
+  in
+  let rename from_rel to_rel i =
+    Instance.fold
+      (fun f acc ->
+        if Fact.rel f = from_rel then
+          Instance.add (Fact.make to_rel (Fact.args f)) acc
+        else acc)
+      i Instance.empty
+  in
+  Query.make ~name:"win-move-doubled" ~input:winmove_schema
+    ~output:(Schema.of_list [ ("Win", 1) ])
+    (fun i ->
+      let moves = Instance.restrict_rels i [ "Move" ] in
+      let step prev =
+        let input = Instance.union moves (rename "W" "P" prev) in
+        Instance.restrict_rels
+          (Datalog.Eval.stratified_exn step_program input)
+          [ "W" ]
+      in
+      let rec fix under over =
+        let under' = step over in
+        let over' = step under' in
+        if Instance.equal under under' && Instance.equal over over' then under
+        else fix under' over'
+      in
+      let under = fix Instance.empty (step Instance.empty) in
+      rename "W" "Win" under)
+
+(* ------------------------------------------------------------------ *)
+(* Datalog sources *)
+
+let tc_program = "T(x,y) :- E(x,y).  T(x,z) :- T(x,y), E(y,z)."
+
+let comp_tc_program =
+  "T(x,y) :- E(x,y).\n\
+   T(x,z) :- T(x,y), E(y,z).\n\
+   O(x,y) :- Adom(x), Adom(y), not T(x,y)."
+
+let example_51_p1 =
+  "T(x) :- E(x,y), E(y,z), E(z,x), y != x, y != z, x != z.\n\
+   O(x) :- Adom(x), not T(x)."
+
+let example_51_p2 =
+  "T(x,y,z) :- E(x,y), E(y,z), E(z,x), y != x, y != z, x != z.\n\
+   D(x1) :- T(x1,x2,x3), T(y1,y2,y3), x1 != y1, x1 != y2, x1 != y3, x2 != \
+   y1, x2 != y2, x2 != y3, x3 != y1, x3 != y2, x3 != y3.\n\
+   O(x) :- Adom(x), not D(x)."
+
+let winmove_program = "Win(x) :- Move(x,y), not Win(y)."
+
+let undirected_rules =
+  "U(x,y) :- E(x,y).\nU(x,y) :- E(y,x).\n"
+
+let q_clique3_program =
+  undirected_rules
+  ^ "W(u) :- Adom(u), U(x,y), U(y,z), U(x,z), x != y, y != z, x != z.\n\
+     O(x,y) :- E(x,y), not W(x)."
+
+let q_star2_program =
+  undirected_rules
+  ^ "W(u) :- Adom(u), U(c,x), U(c,y), x != y, x != c, y != c.\n\
+     O(x,y) :- E(x,y), not W(x)."

@@ -1,0 +1,20 @@
+(** Components of an instance (Section 5.1 of the paper).
+
+    A component of [I] is a minimal nonempty subset [J ⊆ I] with
+    [adom(J) ∩ adom(I \ J) = ∅]: the equivalence classes of facts under the
+    "shares a domain value" relation, computed with union-find. *)
+
+val components : Instance.t -> Instance.t list
+(** [co(I)], sorted for determinism. The union of the result is [I], the
+    results are pairwise nonempty and pairwise adom-disjoint, and each is
+    minimal with that property. *)
+
+val component_of : Instance.t -> Value.t -> Instance.t
+(** The component whose active domain contains the given value, or the
+    empty instance if no fact mentions it. *)
+
+val count : Instance.t -> int
+
+val is_component_of : Instance.t -> Instance.t -> bool
+(** [is_component_of j i] checks the definitional conditions directly
+    (used to cross-validate the union-find implementation in tests). *)

@@ -1,0 +1,41 @@
+let quote s = "\"" ^ String.concat "\\\"" (String.split_on_char '"' s) ^ "\""
+
+let edges ?(rel = "E") ?(prefix = "") i =
+  Instance.fold
+    (fun f acc ->
+      if Fact.rel f = rel && Fact.arity f = 2 then
+        Printf.sprintf "  %s -> %s;"
+          (quote (prefix ^ Value.to_string (Fact.arg f 0)))
+          (quote (prefix ^ Value.to_string (Fact.arg f 1)))
+        :: acc
+      else acc)
+    i []
+  |> List.sort String.compare
+
+let node_decls ?(rel = "E") ~prefix i =
+  Instance.restrict_rels i [ rel ]
+  |> Instance.adom
+  |> Value.Set.elements
+  |> List.map (fun v ->
+         Printf.sprintf "  %s [label=%s];"
+           (quote (prefix ^ Value.to_string v))
+           (quote (Value.to_string v)))
+
+let of_relation ?rel i =
+  String.concat "\n" (("digraph G {" :: edges ?rel i) @ [ "}" ])
+
+let of_distributed ?rel h =
+  let clusters =
+    List.mapi
+      (fun k node ->
+        let prefix = Printf.sprintf "c%d_" k in
+        let local = Distributed.local h node in
+        String.concat "\n"
+          ((Printf.sprintf "  subgraph cluster_%d {" k
+           :: Printf.sprintf "    label=%s;" (quote (Value.to_string node))
+           :: List.map (fun l -> "  " ^ l) (node_decls ?rel ~prefix local))
+          @ List.map (fun l -> "  " ^ l) (edges ?rel ~prefix local)
+          @ [ "  }" ]))
+      (Distributed.network h)
+  in
+  String.concat "\n" (("digraph G {" :: clusters) @ [ "}" ])

@@ -1,0 +1,9 @@
+(** Graphviz DOT export for binary relations and distributed instances —
+    used by the examples to visualize inputs and placements. *)
+
+val of_relation : ?rel:string -> Instance.t -> string
+(** A digraph with one arc per fact of the (default ["E"]) binary
+    relation; facts of other relations or arities are ignored. *)
+
+val of_distributed : ?rel:string -> Distributed.t -> string
+(** One cluster per node of the network showing its local fragment. *)

@@ -1,0 +1,74 @@
+type t = Fact.Set.t
+
+let empty = Fact.Set.empty
+let is_empty = Fact.Set.is_empty
+let cardinal = Fact.Set.cardinal
+let of_list l = Fact.Set.of_list l
+let of_set s = s
+let to_list = Fact.Set.elements
+let to_set t = t
+let of_strings l = of_list (List.map Fact.of_string l)
+let add = Fact.Set.add
+let remove = Fact.Set.remove
+let mem = Fact.Set.mem
+let union = Fact.Set.union
+let inter = Fact.Set.inter
+let diff = Fact.Set.diff
+let subset = Fact.Set.subset
+let equal = Fact.Set.equal
+let compare = Fact.Set.compare
+let filter = Fact.Set.filter
+let fold = Fact.Set.fold
+let iter = Fact.Set.iter
+let for_all = Fact.Set.for_all
+let exists = Fact.Set.exists
+let map_values g t = Fact.Set.map (Fact.map_values g) t
+
+let adom t =
+  Fact.Set.fold (fun f acc -> Value.Set.union (Fact.adom f) acc) t
+    Value.Set.empty
+
+let restrict t sigma = Fact.Set.filter (Schema.fact_over sigma) t
+let restrict_rels t names = Fact.Set.filter (fun f -> List.mem (Fact.rel f) names) t
+
+let rels t =
+  Fact.Set.fold
+    (fun f acc -> if List.mem (Fact.rel f) acc then acc else Fact.rel f :: acc)
+    t []
+  |> List.sort String.compare
+
+let by_rel t name =
+  Fact.Set.fold (fun f acc -> if Fact.rel f = name then f :: acc else acc) t []
+
+let tuples t name =
+  List.map (fun f -> Array.of_list (Fact.args f)) (by_rel t name)
+
+let schema t =
+  Fact.Set.fold (fun f acc -> Schema.add (Fact.rel f) (Fact.arity f) acc) t
+    Schema.empty
+
+let over t sigma = Fact.Set.for_all (Schema.fact_over sigma) t
+let induced t c = Fact.Set.filter (fun f -> Value.Set.subset (Fact.adom f) c) t
+
+let touching t c =
+  Fact.Set.filter
+    (fun f -> not (Value.Set.is_empty (Value.Set.inter (Fact.adom f) c)))
+    t
+
+let is_domain_distinct_from j i =
+  let dom_i = adom i in
+  Fact.Set.for_all
+    (fun f -> not (Value.Set.subset (Fact.adom f) dom_i))
+    j
+
+let is_domain_disjoint_from j i =
+  Value.Set.is_empty (Value.Set.inter (adom j) (adom i))
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       Fact.pp)
+    (to_list t)
+
+let to_string t = Format.asprintf "%a" pp t

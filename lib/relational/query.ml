@@ -1,0 +1,57 @@
+type t = {
+  name : string;
+  input : Schema.t;
+  output : Schema.t;
+  eval : Instance.t -> Instance.t;
+}
+
+let make ~name ~input ~output eval = { name; input; output; eval }
+
+let apply q i =
+  let result = q.eval (Instance.restrict i q.input) in
+  if not (Instance.over result q.output) then
+    invalid_arg
+      (Printf.sprintf "Query.apply: %s produced facts outside %s" q.name
+         (Schema.to_string q.output));
+  result
+
+let compose ~name q2 q1 =
+  if not (Schema.subset q2.input q1.output) then
+    invalid_arg
+      (Printf.sprintf "Query.compose: input of %s not covered by output of %s"
+         q2.name q1.name);
+  {
+    name;
+    input = q1.input;
+    output = q2.output;
+    eval = (fun i -> apply q2 (apply q1 i));
+  }
+
+let union ~name a b =
+  if not (Schema.equal a.input b.input && Schema.equal a.output b.output) then
+    invalid_arg "Query.union: schema mismatch";
+  {
+    name;
+    input = a.input;
+    output = a.output;
+    eval = (fun i -> Instance.union (apply a i) (apply b i));
+  }
+
+let constant_filter q p =
+  {
+    q with
+    name = q.name ^ "/filtered";
+    eval =
+      (fun i -> if p (Instance.restrict i q.input) then q.eval i else Instance.empty);
+  }
+
+let check_generic ?(trials = 8) ?(seed = 42) q i =
+  let dom = Instance.adom i in
+  let ok = ref true in
+  for k = 0 to trials - 1 do
+    let pi = Homomorphism.random_permutation ~seed:(seed + k) dom in
+    let lhs = apply q (Homomorphism.apply pi i) in
+    let rhs = Homomorphism.apply pi (apply q i) in
+    if not (Instance.equal lhs rhs) then ok := false
+  done;
+  !ok

@@ -1,0 +1,39 @@
+(** Abstract queries.
+
+    A query (Section 2) is a generic mapping from instances over an input
+    schema to instances over an output schema. Genericity — commuting with
+    every permutation of [dom] — cannot be checked once and for all, so
+    {!check_generic} provides a randomized spot-check used by the test
+    suite. *)
+
+type t = {
+  name : string;
+  input : Schema.t;
+  output : Schema.t;
+  eval : Instance.t -> Instance.t;
+}
+
+val make :
+  name:string -> input:Schema.t -> output:Schema.t ->
+  (Instance.t -> Instance.t) -> t
+
+val apply : t -> Instance.t -> Instance.t
+(** Restricts the input to the input schema, evaluates, and checks the
+    result is over the output schema.
+    @raise Invalid_argument if the result leaves the output schema. *)
+
+val compose : name:string -> t -> t -> t
+(** [compose q2 q1] feeds the output of [q1] (unioned with nothing else) to
+    [q2]. Requires the output schema of [q1] to cover the input of [q2]. *)
+
+val union : name:string -> t -> t -> t
+(** Pointwise union of two queries with identical schemas. *)
+
+val constant_filter : t -> (Instance.t -> bool) -> t
+(** [constant_filter q p] returns [q]'s output when [p] holds of the input
+    and the empty instance otherwise. Used to build the paper's separating
+    queries ("output the edge relation unless ... exists"). *)
+
+val check_generic : ?trials:int -> ?seed:int -> t -> Instance.t -> bool
+(** [check_generic q i] verifies [Q(π I) = π (Q I)] for randomly chosen
+    permutations [π] of [adom I] (extended with fresh values). *)

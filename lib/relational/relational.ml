@@ -1,0 +1,15 @@
+(** Relational substrate: values, facts, schemas, instances, and the
+    structural notions (homomorphisms, components, distribution) the paper
+    builds on. Entry point re-exporting the submodules. *)
+
+module Value = Value
+module Fact = Fact
+module Schema = Schema
+module Instance = Instance
+module Homomorphism = Homomorphism
+module Component = Component
+module Multiset = Multiset
+module Distributed = Distributed
+module Query = Query
+module Io = Io
+module Dot = Dot

@@ -1,0 +1,65 @@
+type t =
+  | Int of int
+  | Sym of string
+  | Skolem of string * t list
+
+let rec compare a b =
+  match a, b with
+  | Int x, Int y -> Stdlib.compare x y
+  | Int _, _ -> -1
+  | _, Int _ -> 1
+  | Sym x, Sym y -> String.compare x y
+  | Sym _, _ -> -1
+  | _, Sym _ -> 1
+  | Skolem (f, xs), Skolem (g, ys) ->
+    let c = String.compare f g in
+    if c <> 0 then c else compare_lists xs ys
+
+and compare_lists xs ys =
+  match xs, ys with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | x :: xs', y :: ys' ->
+    let c = compare x y in
+    if c <> 0 then c else compare_lists xs' ys'
+
+let equal a b = compare a b = 0
+
+let rec hash = function
+  | Int x -> Hashtbl.hash (0, x)
+  | Sym s -> Hashtbl.hash (1, s)
+  | Skolem (f, args) -> Hashtbl.hash (2, f, List.map hash args)
+
+let is_invented = function Int _ | Sym _ -> false | Skolem _ -> true
+
+let int x = Int x
+let sym s = Sym s
+
+let rec to_string = function
+  | Int x -> string_of_int x
+  | Sym s -> s
+  | Skolem (f, args) ->
+    Printf.sprintf "%s(%s)" f (String.concat "," (List.map to_string args))
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)
+
+let of_string s =
+  match int_of_string_opt s with Some x -> Int x | None -> Sym s
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)
+
+let fresh_not_in used n =
+  let rec go acc candidate remaining =
+    if remaining = 0 then List.rev acc
+    else if Set.mem (Int candidate) used then go acc (candidate + 1) remaining
+    else go (Int candidate :: acc) (candidate + 1) (remaining - 1)
+  in
+  go [] 1_000_000 n

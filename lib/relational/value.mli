@@ -1,0 +1,40 @@
+(** Data values.
+
+    The paper assumes an infinite universe [dom] of data values. We realize
+    it as integers, symbols (strings), and — for ILOG¬ value invention
+    (Section 5.2 of the paper) — ground Skolem terms built from a functor
+    name and argument values. Node identifiers of a network are ordinary
+    values ("node identifiers can occur as data in relations", Section
+    4.1.1). *)
+
+type t =
+  | Int of int
+  | Sym of string
+  | Skolem of string * t list
+      (** [Skolem (f, args)] is the ground term [f(args)] produced by value
+          invention. Invented values never appear in user inputs. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+val is_invented : t -> bool
+(** [true] iff the value is, or contains, a Skolem term. *)
+
+val int : int -> t
+val sym : string -> t
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val of_string : string -> t
+(** Inverse of {!to_string} for non-Skolem values: integer literals parse to
+    [Int], everything else to [Sym]. *)
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+
+val fresh_not_in : Set.t -> int -> t list
+(** [fresh_not_in used n] returns [n] distinct integer values absent from
+    [used] (and from each other). Used to build domain-distinct and
+    domain-disjoint extensions in monotonicity checking. *)

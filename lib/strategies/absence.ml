@@ -1,0 +1,89 @@
+open Relational
+
+let fact_msg_prefix = "Msg_"
+let absence_msg_prefix = "AbsMsg_"
+let fact_mem_prefix = "Got_"
+let absence_mem_prefix = "Abs_"
+let id_msg_rel = "IdMsg"
+let seen_id_rel = "SeenId"
+
+let known_absent input d =
+  let stored = Common.unrename ~prefix:absence_mem_prefix d in
+  let delivered = Common.unrename ~prefix:absence_msg_prefix d in
+  Instance.union
+    (Instance.restrict stored input)
+    (Instance.restrict delivered input)
+
+let certified_absences input d =
+  let local = Common.restrict_input input d in
+  let a = Common.my_adom d in
+  List.fold_left
+    (fun acc f ->
+      if Common.responsible_fact d f && not (Instance.mem f local) then
+        Instance.add f acc
+      else acc)
+    Instance.empty
+    (Schema.all_facts input a)
+
+let complete input d =
+  let known = Broadcast.known input d in
+  let absent =
+    Instance.union (known_absent input d) (certified_absences input d)
+  in
+  let a = Common.my_adom d in
+  List.for_all
+    (fun f -> Instance.mem f known || Instance.mem f absent)
+    (Schema.all_facts input a)
+
+(* Nodes also broadcast their own identifier. The paper's with-All model
+   gets node identifiers into every [A] for free ([A = N ∪ adom J]); in
+   the All-free model of Section 4.3 identifiers must travel as data or
+   absence certificates for facts mentioning them would never be issued.
+   Harmless in the with-All model. *)
+let id_facts d =
+  match Common.my_id d with
+  | None -> Instance.empty
+  | Some x -> Instance.of_list [ Fact.make id_msg_rel [ x ] ]
+
+let seen_ids d =
+  let delivered = Instance.by_rel d id_msg_rel in
+  let stored = Instance.by_rel d seen_id_rel in
+  List.fold_left
+    (fun acc f -> Instance.add (Fact.make seen_id_rel [ Fact.arg f 0 ]) acc)
+    Instance.empty (delivered @ stored)
+
+let transducer (q : Query.t) =
+  let input = q.Query.input in
+  let schema =
+    Network.Transducer_schema.make ~input ~output:q.Query.output
+      ~message:
+        (Schema.add id_msg_rel 1
+           (Schema.union
+              (Common.rename_schema ~prefix:fact_msg_prefix input)
+              (Common.rename_schema ~prefix:absence_msg_prefix input)))
+      ~memory:
+        (Schema.add seen_id_rel 1
+           (Schema.union
+              (Common.rename_schema ~prefix:fact_mem_prefix input)
+              (Common.rename_schema ~prefix:absence_mem_prefix input)))
+      ()
+  in
+  Network.Transducer.make ~schema
+    ~out:(fun d ->
+      if complete input d then Query.apply q (Broadcast.known input d)
+      else Instance.empty)
+    ~ins:(fun d ->
+      Instance.union (seen_ids d)
+        (Instance.union
+           (Common.rename ~prefix:fact_mem_prefix (Broadcast.known input d))
+           (Common.rename ~prefix:absence_mem_prefix
+              (Instance.union (known_absent input d)
+                 (certified_absences input d)))))
+    ~snd:(fun d ->
+      Instance.union (id_facts d)
+        (Instance.union
+           (Common.rename ~prefix:fact_msg_prefix
+              (Common.restrict_input input d))
+           (Common.rename ~prefix:absence_msg_prefix
+              (certified_absences input d))))
+    ()

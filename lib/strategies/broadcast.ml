@@ -1,0 +1,27 @@
+open Relational
+
+let msg_prefix = "Msg_"
+let mem_prefix = "Got_"
+
+let known input d =
+  let local = Common.restrict_input input d in
+  let stored = Common.unrename ~prefix:mem_prefix d in
+  let delivered = Common.unrename ~prefix:msg_prefix d in
+  Instance.union local
+    (Instance.union
+       (Instance.restrict stored input)
+       (Instance.restrict delivered input))
+
+let transducer (q : Query.t) =
+  let schema =
+    Network.Transducer_schema.make ~input:q.Query.input ~output:q.Query.output
+      ~message:(Common.rename_schema ~prefix:msg_prefix q.Query.input)
+      ~memory:(Common.rename_schema ~prefix:mem_prefix q.Query.input)
+      ()
+  in
+  Network.Transducer.make ~schema
+    ~out:(fun d -> Query.apply q (known q.Query.input d))
+    ~ins:(fun d -> Common.rename ~prefix:mem_prefix (known q.Query.input d))
+    ~snd:(fun d ->
+      Common.rename ~prefix:msg_prefix (Common.restrict_input q.Query.input d))
+    ()

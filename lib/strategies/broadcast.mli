@@ -1,0 +1,20 @@
+(** The M-strategy (Corollary 4.6 / the CALM direction of [13]).
+
+    Every node broadcasts its local input facts and accumulates everything
+    it receives; the query is evaluated on the accumulated facts at every
+    transition, and output grows with every newly received fact. Correct
+    for monotone queries: derived facts are never invalidated by more
+    data. Works in every model variant, including the oblivious one — it
+    uses none of the system relations. *)
+
+open Relational
+
+val msg_prefix : string   (* "Msg_" *)
+val mem_prefix : string   (* "Got_" *)
+
+val transducer : Query.t -> Network.Transducer.t
+
+val known : Schema.t -> Instance.t -> Instance.t
+(** The input facts a node knows during a transition: local fragment ∪
+    stored ∪ just delivered. Exposed for the other strategies and for
+    tests. *)

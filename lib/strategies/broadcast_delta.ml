@@ -1,0 +1,30 @@
+open Relational
+
+let sent_prefix = "Sent_"
+
+let transducer (q : Query.t) =
+  let input = q.Query.input in
+  let schema =
+    Network.Transducer_schema.make ~input ~output:q.Query.output
+      ~message:(Common.rename_schema ~prefix:Broadcast.msg_prefix input)
+      ~memory:
+        (Schema.union
+           (Common.rename_schema ~prefix:Broadcast.mem_prefix input)
+           (Common.rename_schema ~prefix:sent_prefix input))
+      ()
+  in
+  Network.Transducer.make ~schema
+    ~out:(fun d -> Query.apply q (Broadcast.known input d))
+    ~ins:(fun d ->
+      let local = Common.restrict_input input d in
+      Instance.union
+        (Common.rename ~prefix:Broadcast.mem_prefix (Broadcast.known input d))
+        (Common.rename ~prefix:sent_prefix local))
+    ~snd:(fun d ->
+      let local = Common.restrict_input input d in
+      let already =
+        Instance.restrict (Common.unrename ~prefix:sent_prefix d) input
+      in
+      Common.rename ~prefix:Broadcast.msg_prefix
+        (Instance.diff local already))
+    ()

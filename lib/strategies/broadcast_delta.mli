@@ -1,0 +1,15 @@
+(** Delta variant of the M-strategy: an ablation for the paper's closing
+    remark that the naive strategies "require all data to be sent to all
+    nodes" on every transition.
+
+    Identical to {!Broadcast} except that each node broadcasts every local
+    input fact exactly once (a [Sent_R] memory marker suppresses
+    re-sends). Computes the same queries — messages are never lost in the
+    model, so one copy per recipient suffices — at a fraction of the
+    message volume (experiment E17). *)
+
+open Relational
+
+val sent_prefix : string   (* "Sent_" *)
+
+val transducer : Query.t -> Network.Transducer.t

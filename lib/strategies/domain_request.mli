@@ -1,0 +1,35 @@
+(** The Mdisjoint-strategy under domain-guided distribution (proof of
+    Theorem 4.4).
+
+    Nodes broadcast the active domain of their local fragment. For every
+    value [a] in its [MyAdom] that a node [x] is {e not} responsible for,
+    it issues a request [(x,a)]; a node responsible for [a] — which, the
+    policy being domain-guided, locally holds {e every} input fact
+    containing [a] — answers with those facts, and once [x] has
+    acknowledged all of them it sends [OK(x,a)]. A node outputs [Q] on its
+    collected facts once every value of its [MyAdom] is either its own
+    responsibility or OK'd; the collected set is then the set of input
+    facts touching [MyAdom], and the rest of the input is domain-disjoint
+    from it, so domain-disjoint-monotonicity makes every produced fact
+    correct.
+
+    The three-step fact/ack/OK handshake is the paper's: with arbitrary
+    message delays an OK must causally follow the arrival of the facts it
+    certifies. Requires the policy-aware model and [Id]; works with or
+    without [All]. *)
+
+open Relational
+
+val val_msg_rel : string    (* "ValMsg" *)
+val req_rel : string        (* "Req" *)
+val ok_rel : string         (* "OkMsg" *)
+val fact_msg_prefix : string   (* "FMsg_" *)
+val ack_msg_prefix : string    (* "AckMsg_" *)
+
+val collected : Schema.t -> Instance.t -> Instance.t
+(** Local fragment ∪ stored ∪ just-delivered response facts. *)
+
+val complete : Schema.t -> Instance.t -> bool
+(** Every value of [MyAdom] is own-responsibility or OK'd. *)
+
+val transducer : Query.t -> Network.Transducer.t

@@ -1,0 +1,10 @@
+(** The three generic coordination-free evaluation strategies from the
+    constructive halves of the paper's Theorems 4.3 and 4.4 and
+    Corollary 4.6: broadcast (M), fact-and-absence broadcast (Mdistinct),
+    and the domain-request protocol (Mdisjoint, domain-guided). *)
+
+module Common = Common
+module Broadcast = Broadcast
+module Broadcast_delta = Broadcast_delta
+module Absence = Absence
+module Domain_request = Domain_request

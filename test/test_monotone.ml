@@ -1,0 +1,801 @@
+(* Tests for the monotonicity classes, the bounded checkers, and the
+   query zoo: these are executable versions of the separations of
+   Theorem 3.1 and Lemma 3.2 (re-run at larger bounds by the bench
+   harness). *)
+
+open Relational
+open Monotone
+open Queries
+
+let check_bool name expected actual = Alcotest.(check bool) name expected actual
+let check_int name expected actual = Alcotest.(check int) name expected actual
+
+let violated = Checker.is_violation
+
+let small =
+  { Checker.dom_size = 3; fresh = 2; max_base = 3; max_ext = 2 }
+
+(* ------------------------------------------------------------------ *)
+(* Classes *)
+
+let test_kind_weaker () =
+  check_bool "disjoint weaker than plain" true
+    (Classes.weaker Classes.Disjoint Classes.Plain);
+  check_bool "distinct weaker than plain" true
+    (Classes.weaker Classes.Distinct Classes.Plain);
+  check_bool "plain not weaker than disjoint" false
+    (Classes.weaker Classes.Plain Classes.Disjoint);
+  check_bool "reflexive" true (Classes.weaker Classes.Distinct Classes.Distinct)
+
+let test_admissible () =
+  let base = Graph_gen.of_edges [ (1, 2) ] in
+  let old_ext = Graph_gen.of_edges [ (2, 1) ] in
+  let mixed_ext = Graph_gen.of_edges [ (2, 9) ] in
+  let fresh_ext = Graph_gen.of_edges [ (8, 9) ] in
+  check_bool "plain admits all" true
+    (Classes.admissible Classes.Plain ~base ~extension:old_ext);
+  check_bool "distinct rejects old" false
+    (Classes.admissible Classes.Distinct ~base ~extension:old_ext);
+  check_bool "distinct admits mixed" true
+    (Classes.admissible Classes.Distinct ~base ~extension:mixed_ext);
+  check_bool "disjoint rejects mixed" false
+    (Classes.admissible Classes.Disjoint ~base ~extension:mixed_ext);
+  check_bool "disjoint admits fresh" true
+    (Classes.admissible Classes.Disjoint ~base ~extension:fresh_ext)
+
+let test_check_pair () =
+  let base = Graph_gen.of_edges [ (1, 2) ] in
+  let ext = Graph_gen.of_edges [ (2, 3); (3, 1) ] in
+  (* comp_tc: path 2->1 appears, so O(2,1) is retracted. *)
+  match Classes.check_pair Classes.Plain Zoo.comp_tc ~base ~extension:ext with
+  | None -> Alcotest.fail "expected violation"
+  | Some v ->
+    check_bool "missing is an O fact" true (Fact.rel v.Classes.missing = "O")
+
+(* ------------------------------------------------------------------ *)
+(* Enumerate *)
+
+let test_subsets_count () =
+  let n l k = Seq.length (Enumerate.subsets_up_to l k) in
+  check_int "choose <=2 of 4" 11 (n [ 1; 2; 3; 4 ] 2);
+  check_int "all of 3" 8 (n [ 1; 2; 3 ] 3);
+  check_int "k beyond n" 8 (n [ 1; 2; 3 ] 9);
+  check_int "empty list" 1 (n [] 2)
+
+let test_subsets_order () =
+  (* Smallest subsets first, so counterexample search prefers small J. *)
+  let sizes =
+    Enumerate.subsets_up_to [ 1; 2; 3 ] 3
+    |> Seq.map List.length |> List.of_seq
+  in
+  check_bool "nondecreasing" true
+    (List.sort compare sizes = sizes)
+
+let test_instances_enumeration () =
+  let sg = Schema.of_list [ ("V", 1) ] in
+  let all =
+    Enumerate.instances sg ~dom:(Enumerate.value_pool 3) ~max_facts:3
+    |> List.of_seq
+  in
+  check_int "2^3 subsets" 8 (List.length all)
+
+let test_extensions_admissible () =
+  let base = Graph_gen.of_edges [ (1, 2) ] in
+  let sg = Graph_gen.schema in
+  let fresh = Enumerate.fresh_pool 2 in
+  List.iter
+    (fun kind ->
+      Enumerate.extensions kind ~base ~schema:sg ~fresh ~max_size:2
+      |> Seq.iter (fun ext ->
+             check_bool "admissible" true
+               (Classes.admissible kind ~base ~extension:ext);
+             check_bool "nonempty" false (Instance.is_empty ext)))
+    [ Classes.Plain; Classes.Distinct; Classes.Disjoint ]
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 3.1 separations, bounded *)
+
+let test_tc_monotone () =
+  check_bool "tc in M (bounded)" false
+    (violated (Checker.check_exhaustive ~bounds:small Classes.Plain Zoo.tc))
+
+let test_comp_tc_placement () =
+  (* Q_TC ∈ Mdisjoint \ Mdistinct (Theorem 3.1(1)). *)
+  check_bool "not plain-monotone" true
+    (violated (Checker.check_exhaustive ~bounds:small Classes.Plain Zoo.comp_tc));
+  check_bool "not distinct-monotone" true
+    (violated
+       (Checker.check_exhaustive ~bounds:small Classes.Distinct Zoo.comp_tc));
+  check_bool "disjoint-monotone (bounded)" false
+    (violated
+       (Checker.check_exhaustive ~bounds:small Classes.Disjoint Zoo.comp_tc))
+
+let test_comp_tc_distinct_bound_collapse () =
+  (* One domain-distinct fact cannot create a path between old vertices:
+     Q_TC ∈ M¹distinct \ M²distinct. *)
+  let b1 = { small with Checker.max_ext = 1 } in
+  check_bool "holds at ext size 1" false
+    (violated (Checker.check_exhaustive ~bounds:b1 Classes.Distinct Zoo.comp_tc));
+  let b2 = { small with Checker.max_ext = 2 } in
+  check_bool "violated at ext size 2" true
+    (violated (Checker.check_exhaustive ~bounds:b2 Classes.Distinct Zoo.comp_tc))
+
+let test_clique_ladder () =
+  (* Q³clique ∈ M¹distinct \ M²distinct (Theorem 3.1(3), i = 1). *)
+  let q = Zoo.q_clique 3 in
+  let b1 = { small with Checker.max_ext = 1 } in
+  check_bool "M1distinct holds" false
+    (violated (Checker.check_exhaustive ~bounds:b1 Classes.Distinct q));
+  let b2 = { small with Checker.max_ext = 2 } in
+  check_bool "M2distinct violated" true
+    (violated (Checker.check_exhaustive ~bounds:b2 Classes.Distinct q));
+  (* Q³clique ∈ M²disjoint \ M³disjoint (Theorem 3.1(5), i = 2). *)
+  let d2 = { small with Checker.fresh = 3; max_ext = 2 } in
+  check_bool "M2disjoint holds" false
+    (violated (Checker.check_exhaustive ~bounds:d2 Classes.Disjoint q));
+  let d3 = { small with Checker.fresh = 3; max_ext = 3 } in
+  check_bool "M3disjoint violated" true
+    (violated (Checker.check_exhaustive ~bounds:d3 Classes.Disjoint q))
+
+let test_star_ladder () =
+  (* Q²star ∈ M¹disjoint \ M²disjoint (Theorem 3.1(4), i = 1). *)
+  let q = Zoo.q_star 2 in
+  let d1 = { small with Checker.fresh = 3; max_ext = 1 } in
+  check_bool "M1disjoint holds" false
+    (violated (Checker.check_exhaustive ~bounds:d1 Classes.Disjoint q));
+  let d2 = { small with Checker.fresh = 3; max_ext = 2 } in
+  check_bool "M2disjoint violated" true
+    (violated (Checker.check_exhaustive ~bounds:d2 Classes.Disjoint q));
+  (* Q²star ∉ M¹distinct (Theorem 3.1(6)): one edge from an old centre to a
+     fresh vertex grows a 1-spoke star into a 2-spoke star. *)
+  let b1 = { small with Checker.max_ext = 1 } in
+  check_bool "M1distinct violated" true
+    (violated (Checker.check_exhaustive ~bounds:b1 Classes.Distinct q))
+
+let test_duplicate () =
+  (* Q²duplicate ∈ M¹distinct \ M²disjoint (Theorem 3.1(7), i=1, j=2). *)
+  let q = Zoo.q_duplicate 2 in
+  let b1 = { small with Checker.max_ext = 1 } in
+  check_bool "M1distinct holds" false
+    (violated (Checker.check_exhaustive ~bounds:b1 Classes.Distinct q));
+  let d2 = { small with Checker.max_ext = 2 } in
+  check_bool "M2disjoint violated" true
+    (violated (Checker.check_exhaustive ~bounds:d2 Classes.Disjoint q))
+
+let test_triangles_not_disjoint_monotone () =
+  (* The Mdisjoint ⊊ C separator (Theorem 3.1(1), third part). *)
+  let q = Zoo.triangles_unless_two_disjoint in
+  let base = Graph_gen.cycle 3 in
+  let out =
+    Checker.check_on_bases ~fresh:3 ~max_ext:3 Classes.Disjoint q [ base ]
+  in
+  check_bool "violated by a fresh disjoint triangle" true (violated out)
+
+let test_winmove_placement () =
+  (* Win-move ∈ Mdisjoint \ Mdistinct (Zinn et al. / Section 4). *)
+  let q = Zoo.winmove in
+  check_bool "not distinct-monotone" true
+    (violated
+       (Checker.check_exhaustive
+          ~bounds:{ small with Checker.max_base = 2; max_ext = 1 }
+          Classes.Distinct q));
+  check_bool "disjoint-monotone (bounded)" false
+    (violated
+       (Checker.check_exhaustive
+          ~bounds:{ small with Checker.max_base = 2; max_ext = 2 }
+          Classes.Disjoint q))
+
+let test_placement_summary () =
+  let p = Checker.place ~bounds:small Zoo.tc in
+  Alcotest.(check string) "tc strongest" "M" (Checker.strongest p);
+  let p = Checker.place ~bounds:small Zoo.comp_tc in
+  Alcotest.(check string) "comp-tc strongest" "Mdisjoint" (Checker.strongest p)
+
+let test_random_checker_agrees () =
+  check_bool "random finds comp-tc distinct violation" true
+    (violated
+       (Checker.check_random ~trials:3000
+          ~bounds:{ small with Checker.max_ext = 2 }
+          Classes.Distinct Zoo.comp_tc));
+  check_bool "random finds no tc violation" false
+    (violated (Checker.check_random ~trials:500 Classes.Plain Zoo.tc))
+
+(* ------------------------------------------------------------------ *)
+(* Lemma 3.2: E = Mdistinct, Hinj = M *)
+
+let test_extensions_tc () =
+  check_bool "tc preserved under extensions" false
+    (violated (Relate.check_extensions_exhaustive ~bounds:small Zoo.tc))
+
+let test_extensions_comp_tc () =
+  check_bool "comp-tc not preserved under extensions" true
+    (violated (Relate.check_extensions_exhaustive ~bounds:small Zoo.comp_tc))
+
+let test_extensions_agrees_with_distinct () =
+  (* E = Mdistinct: the two checkers agree on a query sample. *)
+  List.iter
+    (fun q ->
+      let e = violated (Relate.check_extensions_exhaustive ~bounds:small q) in
+      let d =
+        violated (Checker.check_exhaustive ~bounds:small Classes.Distinct q)
+      in
+      check_bool ("agrees on " ^ q.Query.name) e d)
+    [ Zoo.tc; Zoo.comp_tc; Zoo.q_clique 3; Zoo.q_star 2 ]
+
+let tiny = { Checker.dom_size = 2; fresh = 1; max_base = 2; max_ext = 2 }
+
+let test_hom_tc () =
+  check_bool "tc preserved under injective homs" false
+    (violated (Relate.check_hom_exhaustive ~bounds:tiny ~injective:true Zoo.tc));
+  check_bool "tc preserved under all homs (Datalog ⊆ H)" false
+    (violated (Relate.check_hom_exhaustive ~bounds:tiny ~injective:false Zoo.tc))
+
+let test_hom_comp_tc () =
+  check_bool "comp-tc not preserved under injective homs" true
+    (violated
+       (Relate.check_hom_exhaustive ~bounds:tiny ~injective:true Zoo.comp_tc))
+
+let test_hom_ineq_separates () =
+  (* O(x,y) :- E(x,y), x != y is in M = Hinj but not in H: a collapsing
+     homomorphism merges the two endpoints. *)
+  let q =
+    Query.make ~name:"irreflexive-edges" ~input:Graph_gen.schema
+      ~output:(Schema.of_list [ ("O", 2) ])
+      (fun i ->
+        Instance.fold
+          (fun f acc ->
+            if
+              Fact.rel f = "E"
+              && not (Value.equal (Fact.arg f 0) (Fact.arg f 1))
+            then Instance.add (Fact.make "O" (Fact.args f)) acc
+            else acc)
+          i Instance.empty)
+  in
+  check_bool "in Hinj" false
+    (violated (Relate.check_hom_exhaustive ~bounds:tiny ~injective:true q));
+  check_bool "not in H" true
+    (violated (Relate.check_hom_exhaustive ~bounds:tiny ~injective:false q));
+  check_bool "in M" false
+    (violated (Checker.check_exhaustive ~bounds:small Classes.Plain q))
+
+(* ------------------------------------------------------------------ *)
+(* Zoo internals *)
+
+let test_has_clique () =
+  check_bool "triangle" true (Zoo.has_clique (Graph_gen.cycle 3) 3);
+  check_bool "path is not" false (Zoo.has_clique (Graph_gen.path 3) 3);
+  check_bool "full clique 4" true (Zoo.has_clique (Graph_gen.clique 4) 4);
+  check_bool "cycle 4 has no triangle" false
+    (Zoo.has_clique (Graph_gen.cycle 4) 3);
+  check_bool "undirected reading" true
+    (Zoo.has_clique (Graph_gen.of_edges [ (1, 2); (3, 1); (2, 3) ]) 3)
+
+let test_has_star () =
+  check_bool "star 3" true (Zoo.has_star (Graph_gen.star 3) 3);
+  check_bool "star 3 is not star 4" false (Zoo.has_star (Graph_gen.star 3) 4);
+  check_bool "in-edges count as spokes" true
+    (Zoo.has_star (Graph_gen.of_edges [ (1, 0); (2, 0); (3, 0) ]) 3);
+  check_bool "self loop no spoke" false
+    (Zoo.has_star (Graph_gen.of_edges [ (0, 0) ]) 1)
+
+let test_triangles () =
+  let t = Zoo.triangles (Graph_gen.cycle 3) in
+  check_int "three rotations" 3 (Instance.cardinal t);
+  check_bool "no triangle in path" true
+    (Instance.is_empty (Zoo.triangles (Graph_gen.path 4)))
+
+let test_winmove_query () =
+  let i = Instance.of_list [ Fact.make "Move" [ Value.int 1; Value.int 2 ] ] in
+  let out = Query.apply Zoo.winmove i in
+  check_bool "1 wins" true
+    (Instance.mem (Fact.make "Win" [ Value.int 1 ]) out);
+  check_int "only 1 wins" 1 (Instance.cardinal out)
+
+let test_winmove_draw () =
+  let i = Graph_gen.game ~seed:0 ~nodes:0 ~edges:0 in
+  check_bool "empty game, no winners" true
+    (Instance.is_empty (Query.apply Zoo.winmove i));
+  let cyc =
+    Instance.of_list
+      [
+        Fact.make "Move" [ Value.int 1; Value.int 2 ];
+        Fact.make "Move" [ Value.int 2; Value.int 1 ];
+      ]
+  in
+  check_bool "pure cycle: draws are not wins" true
+    (Instance.is_empty (Query.apply Zoo.winmove cyc))
+
+let test_winmove_matches_engine () =
+  (* The direct alternating fixpoint agrees with the Datalog well-founded
+     engine on random games. *)
+  let open Datalog in
+  let p = Parser.parse_program Zoo.winmove_program in
+  for seed = 0 to 14 do
+    let g = Graph_gen.game ~seed ~nodes:6 ~edges:9 in
+    let direct = Query.apply Zoo.winmove g in
+    let engine =
+      Instance.restrict_rels (Wellfounded.eval p g).Wellfounded.true_facts
+        [ "Win" ]
+    in
+    check_bool (Printf.sprintf "seed %d" seed) true
+      (Instance.equal direct engine)
+  done
+
+let test_tc_matches_engine () =
+  let open Datalog in
+  let p = Parser.parse_program Zoo.tc_program in
+  for seed = 0 to 9 do
+    let g = Graph_gen.erdos_renyi ~seed ~nodes:6 ~edges:10 in
+    let direct = Query.apply Zoo.tc g in
+    let engine = Instance.restrict_rels (Eval.seminaive p g) [ "T" ] in
+    check_bool (Printf.sprintf "seed %d" seed) true
+      (Instance.equal direct engine)
+  done
+
+let test_comp_tc_matches_engine () =
+  let open Datalog in
+  let p = Program.parse Zoo.comp_tc_program in
+  for seed = 0 to 9 do
+    let g = Graph_gen.erdos_renyi ~seed ~nodes:5 ~edges:7 in
+    let direct = Query.apply Zoo.comp_tc g in
+    let engine = Program.run p g in
+    check_bool (Printf.sprintf "seed %d" seed) true
+      (Instance.equal direct engine)
+  done
+
+let test_graph_gen_shapes () =
+  check_int "path edges" 4 (Instance.cardinal (Graph_gen.path 4));
+  check_int "cycle edges" 5 (Instance.cardinal (Graph_gen.cycle 5));
+  check_int "clique edges" 12 (Instance.cardinal (Graph_gen.clique 4));
+  check_int "star edges" 3 (Instance.cardinal (Graph_gen.star 3));
+  let a = Graph_gen.cycle 3 and b = Graph_gen.cycle 3 in
+  let u = Graph_gen.disjoint_union a b in
+  check_int "disjoint union keeps all edges" 6 (Instance.cardinal u);
+  check_bool "parts disjoint" true
+    (Instance.is_domain_disjoint_from (Instance.diff u a) a)
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking and ladders *)
+
+let test_shrink_minimizes () =
+  (* Start from a deliberately fat violating pair for comp-tc. *)
+  let base = Graph_gen.of_edges [ (1, 2); (5, 6); (6, 5) ] in
+  let extension = Graph_gen.of_edges [ (2, 9); (9, 1); (9, 9) ] in
+  match
+    Classes.check_pair Classes.Distinct Zoo.comp_tc ~base ~extension
+  with
+  | None -> Alcotest.fail "expected a violation to start from"
+  | Some v ->
+    let v' = Shrink.shrink Zoo.comp_tc v in
+    check_bool "still a violation" true
+      (Classes.check_pair v'.Classes.kind Zoo.comp_tc ~base:v'.Classes.base
+         ~extension:v'.Classes.extension
+      <> None);
+    check_bool "minimal" true (Shrink.is_minimal Zoo.comp_tc v');
+    check_bool "base shrank" true
+      (Instance.cardinal v'.Classes.base < Instance.cardinal base);
+    (* The canonical certificate: one edge, and the two-edge detour
+       through the new vertex. *)
+    check_int "one base fact" 1 (Instance.cardinal v'.Classes.base);
+    check_int "two extension facts" 2 (Instance.cardinal v'.Classes.extension)
+
+let test_ladder_star () =
+  (* Q²star: holds at disjoint bound 1, violated from 2 on. *)
+  let outcomes =
+    Checker.ladder ~fresh:3
+      ~bases:[ Graph_gen.star 1; Graph_gen.path 1 ]
+      Classes.Disjoint ~max_i:3 (Zoo.q_star 2)
+  in
+  match List.map violated outcomes with
+  | [ false; true; true ] -> ()
+  | l ->
+    Alcotest.fail
+      (Printf.sprintf "unexpected ladder: %s"
+         (String.concat "," (List.map string_of_bool l)))
+
+let test_ladder_monotone_in_i () =
+  (* Once violated, violated for all larger bounds (inclusion of the
+     bounded classes). *)
+  let outcomes =
+    Checker.ladder ~bounds:small Classes.Distinct ~max_i:3 Zoo.comp_tc
+  in
+  let flags = List.map violated outcomes in
+  let rec nondecreasing = function
+    | a :: (b :: _ as rest) -> ((not a) || b) && nondecreasing rest
+    | _ -> true
+  in
+  check_bool "monotone ladder" true (nondecreasing flags)
+
+(* ------------------------------------------------------------------ *)
+(* Datalog encodings of the separating queries *)
+
+let test_clique_program_matches_query () =
+  let p = Datalog.Program.parse Zoo.q_clique3_program in
+  let q = Zoo.q_clique 3 in
+  for seed = 0 to 19 do
+    let g = Graph_gen.erdos_renyi ~seed ~nodes:5 ~edges:7 in
+    check_bool
+      (Printf.sprintf "seed %d" seed)
+      true
+      (Instance.equal (Datalog.Program.run p g) (Query.apply q g))
+  done
+
+let test_star_program_matches_query () =
+  let p = Datalog.Program.parse Zoo.q_star2_program in
+  let q = Zoo.q_star 2 in
+  for seed = 0 to 19 do
+    let g = Graph_gen.erdos_renyi ~seed ~nodes:5 ~edges:6 in
+    check_bool
+      (Printf.sprintf "seed %d" seed)
+      true
+      (Instance.equal (Datalog.Program.run p g) (Query.apply q g))
+  done;
+  (* Self loops are not spokes. *)
+  let g = Graph_gen.of_edges [ (0, 0); (0, 1) ] in
+  check_bool "self loop" true
+    (Instance.equal (Datalog.Program.run p g) (Query.apply q g))
+
+let test_separator_programs_not_semicon () =
+  (* These queries are outside Mdisjoint, so Theorem 5.3 says no
+     semicon-Datalog¬ program can express them; the natural encodings are
+     indeed not semi-connected and their negation is a blocking point of
+     order. *)
+  List.iter
+    (fun src ->
+      let rules =
+        Datalog.Adom.augment (Datalog.Parser.parse_program src)
+      in
+      check_bool "stratified but not semicon" true
+        (Datalog.Fragment.classify rules
+        = Datalog.Fragment.Stratified);
+      match
+        Datalog.Points_of_order.max_severity
+          (Datalog.Points_of_order.analyze rules)
+      with
+      | Some Datalog.Points_of_order.Blocking_negation -> ()
+      | _ -> Alcotest.fail "expected a blocking point of order")
+    [ Zoo.q_clique3_program; Zoo.q_star2_program ]
+
+(* ------------------------------------------------------------------ *)
+(* Games: retrograde analysis vs win-move *)
+
+let move a b = Fact.make "Move" [ Value.int a; Value.int b ]
+
+let test_games_statuses () =
+  (* 1 -> 2 -> 3 (dead end), 4 <-> 5, 6 -> 4. *)
+  let g = Instance.of_list [ move 1 2; move 2 3; move 4 5; move 5 4; move 6 4 ] in
+  let s = Games.solve g in
+  let expect x st =
+    check_bool
+      (Printf.sprintf "%d is %s" x (Games.status_to_string st))
+      true
+      (Value.Map.find (Value.int x) s = st)
+  in
+  expect 3 Games.Lost;
+  expect 2 Games.Won;
+  expect 1 Games.Lost;
+  expect 4 Games.Drawn;
+  expect 5 Games.Drawn;
+  expect 6 Games.Drawn
+
+let test_games_match_winmove () =
+  for seed = 0 to 19 do
+    let g = Graph_gen.game ~seed ~nodes:7 ~edges:11 in
+    check_bool
+      (Printf.sprintf "winners agree (seed %d)" seed)
+      true
+      (Instance.equal
+         (Query.apply Games.winners_query g)
+         (Query.apply Zoo.winmove g));
+    check_bool
+      (Printf.sprintf "wf agreement (seed %d)" seed)
+      true
+      (Games.agrees_with_wellfounded g)
+  done
+
+let test_games_partition () =
+  let g = Graph_gen.game ~seed:3 ~nodes:6 ~edges:9 in
+  let won = Games.positions Games.Won g in
+  let lost = Games.positions Games.Lost g in
+  let drawn = Games.positions Games.Drawn g in
+  check_bool "disjoint" true
+    (Value.Set.is_empty (Value.Set.inter won lost)
+    && Value.Set.is_empty (Value.Set.inter won drawn)
+    && Value.Set.is_empty (Value.Set.inter lost drawn));
+  check_bool "cover" true
+    (Value.Set.equal
+       (Value.Set.union won (Value.Set.union lost drawn))
+       (Instance.adom g))
+
+let test_games_losers_query () =
+  let g = Instance.of_list [ move 1 2 ] in
+  let out = Query.apply Games.losers_query g in
+  check_bool "2 lost" true
+    (Instance.mem (Fact.make "Lose" [ Value.int 2 ]) out);
+  check_bool "1 not lost" false
+    (Instance.mem (Fact.make "Lose" [ Value.int 1 ]) out)
+
+(* ------------------------------------------------------------------ *)
+(* wILOG zoo (Section 5.2 / Theorem 5.4) *)
+
+let test_wilog_tagged_edges () =
+  let i = Graph_gen.of_edges [ (1, 2); (3, 4) ] in
+  let out = Query.apply Wilog_zoo.tagged_edges_query i in
+  check_int "identity modulo rel name" 2 (Instance.cardinal out);
+  check_bool "no invented values leak" true
+    (Instance.for_all (fun f -> not (Fact.is_invented f)) out)
+
+let test_wilog_sinks_of_sources () =
+  (* 1 -> 2: HasOut = {1}; sinks (no out-edge) = {2}. *)
+  let i = Graph_gen.of_edges [ (1, 2) ] in
+  let out = Query.apply Wilog_zoo.sinks_of_sources_query i in
+  check_bool "O(1,2)" true
+    (Instance.equal out
+       (Instance.of_list [ Fact.make "O" [ Value.int 1; Value.int 2 ] ]))
+
+let test_wilog_fragments () =
+  let open Datalog in
+  let tagged = Parser.parse_program Wilog_zoo.tagged_edges in
+  let sinks = Adom.augment (Parser.parse_program Wilog_zoo.sinks_of_sources) in
+  check_bool "tagged is SP-wILOG" true (Ilog.is_sp_wilog tagged);
+  check_bool "sinks is not SP-wILOG" false (Ilog.is_sp_wilog sinks);
+  check_bool "sinks is semicon-wILOG" true (Ilog.is_semi_connected_wilog sinks);
+  check_bool "tagged weakly safe" true
+    (Ilog.is_weakly_safe ~outputs:[ "O" ] tagged);
+  check_bool "leak not weakly safe" false
+    (Ilog.is_weakly_safe ~outputs:[ "O" ]
+       (Parser.parse_program Wilog_zoo.unsafe_leak))
+
+let test_wilog_query_rejections () =
+  let open Datalog in
+  check_bool "unsafe leak rejected" true
+    (Result.is_error
+       (Ilog.query ~name:"leak" ~outputs:[ "O" ]
+          (Parser.parse_program Wilog_zoo.unsafe_leak)));
+  check_bool "divergent counter has no O" true
+    (Result.is_error
+       (Ilog.query ~name:"ctr" ~outputs:[ "O" ]
+          (Parser.parse_program Wilog_zoo.divergent_counter)))
+
+let test_wilog_semicon_in_mdisjoint () =
+  (* Theorem 5.4 direction: semicon-wILOG¬ ⊆ Mdisjoint, bounded check. *)
+  let q = Wilog_zoo.sinks_of_sources_query in
+  check_bool "not in Mdistinct" true
+    (violated
+       (Checker.check_exhaustive ~bounds:{ small with Checker.max_ext = 1 }
+          Classes.Distinct q));
+  check_bool "in Mdisjoint (bounded)" false
+    (violated (Checker.check_exhaustive ~bounds:small Classes.Disjoint q))
+
+(* ------------------------------------------------------------------ *)
+(* qcheck properties *)
+
+let gen_graph =
+  QCheck2.Gen.(
+    let* n = int_range 0 10 in
+    let* edges = list_size (return n) (pair (int_range 0 5) (int_range 0 5)) in
+    return (Graph_gen.of_edges edges))
+
+let prop_induced_iff_distinct =
+  QCheck2.Test.make ~name:"E=Mdistinct translation (Lemma 3.2)" ~count:300
+    (QCheck2.Gen.pair gen_graph gen_graph) (fun (whole, sub) ->
+      let part = Instance.inter whole sub in
+      Relate.induced_iff_distinct ~whole ~part)
+
+let prop_disjoint_union_preserves_winmove =
+  QCheck2.Test.make ~name:"win-move disjoint-monotone on random pairs"
+    ~count:100 (QCheck2.Gen.pair gen_graph gen_graph) (fun (a, b) ->
+      let rename i =
+        Instance.fold
+          (fun f acc -> Instance.add (Fact.make "Move" (Fact.args f)) acc)
+          i Instance.empty
+      in
+      let shift i =
+        Instance.map_values
+          (function Value.Int x -> Value.Int (x + 1000) | v -> v)
+          i
+      in
+      let a = rename a and b = shift (rename b) in
+      let q = Zoo.winmove in
+      Instance.subset (Query.apply q a) (Query.apply q (Instance.union a b)))
+
+let prop_tc_monotone_random =
+  QCheck2.Test.make ~name:"tc monotone on random pairs" ~count:200
+    (QCheck2.Gen.pair gen_graph gen_graph) (fun (i, j) ->
+      Instance.subset (Query.apply Zoo.tc i)
+        (Query.apply Zoo.tc (Instance.union i j)))
+
+let prop_comp_tc_disjoint_monotone_random =
+  QCheck2.Test.make ~name:"comp-tc disjoint-monotone on random pairs"
+    ~count:200 gen_graph (fun i ->
+      let j =
+        Instance.map_values
+          (function Value.Int x -> Value.Int (x + 500) | v -> v)
+          (Graph_gen.cycle 3)
+      in
+      Instance.subset (Query.apply Zoo.comp_tc i)
+        (Query.apply Zoo.comp_tc (Instance.union i j)))
+
+(* Random programs over binary predicates: edb {A, B}, idb {P, Q}, all
+   arity 2, range-restricted by construction. [with_neg] adds negated
+   edb atoms (semi-positive). *)
+let gen_program ~with_neg =
+  let open QCheck2.Gen in
+  let vars = [ "x"; "y"; "z" ] in
+  let gen_rule =
+    let* npos = int_range 1 3 in
+    let* pos =
+      list_size (return npos)
+        (let* p = oneofl [ "A"; "B"; "P"; "Q" ] in
+         let* t1 = oneofl vars in
+         let* t2 = oneofl vars in
+         return (Datalog.Ast.atom p [ Datalog.Ast.Var t1; Datalog.Ast.Var t2 ]))
+    in
+    let pos_vars = List.concat_map Datalog.Ast.vars_of_atom pos in
+    let pvar = oneofl pos_vars in
+    let* h1 = pvar in
+    let* h2 = pvar in
+    let* hp = oneofl [ "P"; "Q" ] in
+    let* neg =
+      if not with_neg then return []
+      else
+        list_size (int_range 0 2)
+          (let* p = oneofl [ "A"; "B" ] in
+           let* t1 = pvar in
+           let* t2 = pvar in
+           return
+             (Datalog.Ast.atom p [ Datalog.Ast.Var t1; Datalog.Ast.Var t2 ]))
+    in
+    let* ineq =
+      list_size (int_range 0 1)
+        (let* t1 = pvar in
+         let* t2 = pvar in
+         return (Datalog.Ast.Var t1, Datalog.Ast.Var t2))
+    in
+    return
+      {
+        Datalog.Ast.head =
+          Datalog.Ast.atom hp [ Datalog.Ast.Var h1; Datalog.Ast.Var h2 ];
+        pos;
+        neg;
+        ineq;
+      }
+  in
+  list_size (int_range 1 4) gen_rule
+
+let program_query rules =
+  let heads =
+    List.map (fun (r : Datalog.Ast.rule) -> r.Datalog.Ast.head.Datalog.Ast.pred) rules
+    |> List.sort_uniq String.compare
+  in
+  Datalog.Program.query ~name:"random"
+    (Datalog.Program.make ~outputs:heads rules)
+
+let prop_positive_programs_monotone =
+  QCheck2.Test.make ~name:"Datalog(!=) subset of M (random programs)"
+    ~count:80 (gen_program ~with_neg:false) (fun rules ->
+      match program_query rules with
+      | exception Invalid_argument _ -> QCheck2.assume_fail ()
+      | q ->
+        not
+          (violated
+             (Checker.check_random ~trials:60
+                ~bounds:{ small with Checker.max_base = 3 }
+                Classes.Plain q)))
+
+let prop_sp_programs_distinct_monotone =
+  QCheck2.Test.make ~name:"SP-Datalog subset of Mdistinct (random programs)"
+    ~count:80 (gen_program ~with_neg:true) (fun rules ->
+      match program_query rules with
+      | exception Invalid_argument _ -> QCheck2.assume_fail ()
+      | q ->
+        Datalog.Fragment.is_semi_positive rules
+        && not
+             (violated
+                (Checker.check_random ~trials:60
+                   ~bounds:{ small with Checker.max_base = 3 }
+                   Classes.Distinct q)))
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_positive_programs_monotone;
+      prop_sp_programs_distinct_monotone;
+      prop_induced_iff_distinct;
+      prop_disjoint_union_preserves_winmove;
+      prop_tc_monotone_random;
+      prop_comp_tc_disjoint_monotone_random;
+    ]
+
+let () =
+  Alcotest.run "monotone"
+    [
+      ( "classes",
+        [
+          Alcotest.test_case "weaker" `Quick test_kind_weaker;
+          Alcotest.test_case "admissible" `Quick test_admissible;
+          Alcotest.test_case "check_pair" `Quick test_check_pair;
+        ] );
+      ( "enumerate",
+        [
+          Alcotest.test_case "subset count" `Quick test_subsets_count;
+          Alcotest.test_case "subset order" `Quick test_subsets_order;
+          Alcotest.test_case "instances" `Quick test_instances_enumeration;
+          Alcotest.test_case "extensions admissible" `Quick
+            test_extensions_admissible;
+        ] );
+      ( "theorem-3.1",
+        [
+          Alcotest.test_case "tc in M" `Slow test_tc_monotone;
+          Alcotest.test_case "comp-tc placement" `Slow test_comp_tc_placement;
+          Alcotest.test_case "comp-tc bounded ladder" `Slow
+            test_comp_tc_distinct_bound_collapse;
+          Alcotest.test_case "clique ladder" `Slow test_clique_ladder;
+          Alcotest.test_case "star ladder" `Slow test_star_ladder;
+          Alcotest.test_case "duplicate" `Slow test_duplicate;
+          Alcotest.test_case "triangles separator" `Quick
+            test_triangles_not_disjoint_monotone;
+          Alcotest.test_case "winmove placement" `Slow test_winmove_placement;
+          Alcotest.test_case "placement summary" `Slow test_placement_summary;
+          Alcotest.test_case "random checker" `Slow test_random_checker_agrees;
+        ] );
+      ( "lemma-3.2",
+        [
+          Alcotest.test_case "tc under extensions" `Slow test_extensions_tc;
+          Alcotest.test_case "comp-tc under extensions" `Slow
+            test_extensions_comp_tc;
+          Alcotest.test_case "E = Mdistinct agreement" `Slow
+            test_extensions_agrees_with_distinct;
+          Alcotest.test_case "tc under homs" `Slow test_hom_tc;
+          Alcotest.test_case "comp-tc under inj homs" `Slow test_hom_comp_tc;
+          Alcotest.test_case "ineq separates H from Hinj" `Slow
+            test_hom_ineq_separates;
+        ] );
+      ( "zoo",
+        [
+          Alcotest.test_case "has_clique" `Quick test_has_clique;
+          Alcotest.test_case "has_star" `Quick test_has_star;
+          Alcotest.test_case "triangles" `Quick test_triangles;
+          Alcotest.test_case "winmove basic" `Quick test_winmove_query;
+          Alcotest.test_case "winmove draws" `Quick test_winmove_draw;
+          Alcotest.test_case "winmove vs engine" `Quick
+            test_winmove_matches_engine;
+          Alcotest.test_case "tc vs engine" `Quick test_tc_matches_engine;
+          Alcotest.test_case "comp-tc vs engine" `Quick
+            test_comp_tc_matches_engine;
+          Alcotest.test_case "generators" `Quick test_graph_gen_shapes;
+        ] );
+      ( "shrink-ladder",
+        [
+          Alcotest.test_case "shrink minimizes" `Quick test_shrink_minimizes;
+          Alcotest.test_case "star ladder" `Quick test_ladder_star;
+          Alcotest.test_case "ladder monotone" `Slow test_ladder_monotone_in_i;
+        ] );
+      ( "datalog-encodings",
+        [
+          Alcotest.test_case "clique program" `Quick
+            test_clique_program_matches_query;
+          Alcotest.test_case "star program" `Quick
+            test_star_program_matches_query;
+          Alcotest.test_case "not semicon" `Quick
+            test_separator_programs_not_semicon;
+        ] );
+      ( "games",
+        [
+          Alcotest.test_case "statuses" `Quick test_games_statuses;
+          Alcotest.test_case "matches win-move" `Quick test_games_match_winmove;
+          Alcotest.test_case "partition" `Quick test_games_partition;
+          Alcotest.test_case "losers" `Quick test_games_losers_query;
+        ] );
+      ( "wilog",
+        [
+          Alcotest.test_case "tagged edges" `Quick test_wilog_tagged_edges;
+          Alcotest.test_case "sinks of sources" `Quick
+            test_wilog_sinks_of_sources;
+          Alcotest.test_case "fragments" `Quick test_wilog_fragments;
+          Alcotest.test_case "rejections" `Quick test_wilog_query_rejections;
+          Alcotest.test_case "semicon in Mdisjoint" `Slow
+            test_wilog_semicon_in_mdisjoint;
+        ] );
+      ("properties", qcheck_cases);
+    ]

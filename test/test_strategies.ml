@@ -1,0 +1,214 @@
+(* Unit tests for the evaluation-strategy plumbing: renaming helpers,
+   system-relation accessors, and the completeness predicates of the
+   Mdistinct and Mdisjoint strategies, on hand-crafted transition views
+   [D]. The end-to-end behaviour is covered in test_network.ml. *)
+
+open Relational
+open Strategies
+open Queries
+
+let v = Value.int
+let e a b = Graph_gen.edge a b
+let check_bool name expected actual = Alcotest.(check bool) name expected actual
+let check_int name expected actual = Alcotest.(check int) name expected actual
+
+let instance_testable = Alcotest.testable Instance.pp Instance.equal
+
+let graph = Graph_gen.schema
+let net = Distributed.network_of_ints [ 1; 2 ]
+let single_policy = Network.Policy.single graph net (v 1)
+
+(* A hand-crafted D for node 1: local input, stored facts, delivered
+   messages, and the policy-aware system facts over the A-set. *)
+let craft_d ?(variant = Network.Config.policy_aware)
+    ?(policy = single_policy) ~local ~mem ~msgs () =
+  let j =
+    Instance.union (Instance.of_list local)
+      (Instance.union (Instance.of_list mem) (Instance.of_list msgs))
+  in
+  let a =
+    List.fold_left
+      (fun acc x -> Value.Set.add x acc)
+      (Instance.adom j)
+      (Distributed.network_of_ints [ 1; 2 ])
+  in
+  Instance.union j
+    (Network.Config.system_facts variant policy
+       (Distributed.network_of_ints [ 1; 2 ])
+       (v 1) a)
+
+(* ------------------------------------------------------------------ *)
+(* Common *)
+
+let test_rename_roundtrip () =
+  let i = Instance.of_list [ e 1 2; e 3 4 ] in
+  let renamed = Common.rename ~prefix:"Msg_" i in
+  check_bool "renamed" true
+    (Instance.for_all (fun f -> Fact.rel f = "Msg_E") renamed);
+  Alcotest.check instance_testable "roundtrip" i
+    (Common.unrename ~prefix:"Msg_" renamed);
+  check_bool "unrename drops others" true
+    (Instance.is_empty (Common.unrename ~prefix:"Got_" renamed))
+
+let test_rename_schema () =
+  let sg = Common.rename_schema ~prefix:"Got_" graph in
+  Alcotest.(check (option int)) "Got_E/2" (Some 2) (Schema.arity sg "Got_E");
+  check_bool "E gone" false (Schema.mem sg "E")
+
+let test_my_id_and_adom () =
+  let d = craft_d ~local:[ e 5 6 ] ~mem:[] ~msgs:[] () in
+  check_bool "id" true (Common.my_id d = Some (v 1));
+  let adom = Common.my_adom d in
+  check_bool "has 5" true (Value.Set.mem (v 5) adom);
+  check_bool "has node ids" true (Value.Set.mem (v 2) adom);
+  (* No Id relation in the oblivious model. *)
+  let d' =
+    craft_d ~variant:Network.Config.oblivious ~local:[ e 5 6 ] ~mem:[]
+      ~msgs:[] ()
+  in
+  check_bool "no id" true (Common.my_id d' = None)
+
+let test_responsibility () =
+  let d = craft_d ~local:[ e 1 2 ] ~mem:[] ~msgs:[] () in
+  (* Node 1 holds everything under the single policy. *)
+  check_bool "fact responsibility" true (Common.responsible_fact d (e 1 2));
+  check_bool "value responsibility" true
+    (Common.responsible_value graph d (v 2));
+  (* Facts outside A have no policy row. *)
+  check_bool "outside A" false (Common.responsible_fact d (e 77 78))
+
+let test_responsibility_split_policy () =
+  let policy =
+    Network.Policy.make ~name:"parity" graph net (fun f ->
+        match Fact.arg f 0 with
+        | Value.Int a when a mod 2 = 1 -> [ v 1 ]
+        | _ -> [ v 2 ])
+  in
+  let d = craft_d ~policy ~local:[ e 1 2 ] ~mem:[] ~msgs:[] () in
+  check_bool "odd first attr is mine" true (Common.responsible_fact d (e 1 1));
+  check_bool "even first attr is not" false (Common.responsible_fact d (e 2 1))
+
+(* ------------------------------------------------------------------ *)
+(* Broadcast *)
+
+let test_broadcast_known () =
+  let d =
+    craft_d ~local:[ e 1 2 ]
+      ~mem:[ Fact.make "Got_E" [ v 3; v 4 ] ]
+      ~msgs:[ Fact.make "Msg_E" [ v 5; v 6 ] ]
+      ()
+  in
+  Alcotest.check instance_testable "assembled"
+    (Instance.of_list [ e 1 2; e 3 4; e 5 6 ])
+    (Broadcast.known graph d)
+
+let test_broadcast_delta_snd () =
+  (* The delta variant suppresses re-sends of facts marked Sent_E. *)
+  let t = Broadcast_delta.transducer Zoo.tc in
+  let d =
+    craft_d ~local:[ e 1 2; e 3 4 ]
+      ~mem:[ Fact.make "Sent_E" [ v 1; v 2 ] ]
+      ~msgs:[] ()
+  in
+  let sent = t.Network.Transducer.q_snd d in
+  Alcotest.check instance_testable "only the unsent fact"
+    (Instance.of_list [ Fact.make "Msg_E" [ v 3; v 4 ] ])
+    sent
+
+(* ------------------------------------------------------------------ *)
+(* Absence *)
+
+let test_certified_absences () =
+  (* Node 1 responsible for everything, holding E(1,2): every other
+     E-fact over A = {1,2} is certifiably absent. *)
+  let d = craft_d ~local:[ e 1 2 ] ~mem:[] ~msgs:[] () in
+  let absences = Absence.certified_absences graph d in
+  check_bool "E(2,1) certified" true (Instance.mem (e 2 1) absences);
+  check_bool "E(1,2) not (present)" false (Instance.mem (e 1 2) absences);
+  check_int "3 of 4 candidate facts" 3 (Instance.cardinal absences)
+
+let test_absence_complete () =
+  let d = craft_d ~local:[ e 1 2 ] ~mem:[] ~msgs:[] () in
+  check_bool "complete when responsible for all" true
+    (Absence.complete graph d);
+  (* With a split policy, node 1 cannot certify even-first facts. *)
+  let policy =
+    Network.Policy.make ~name:"parity" graph net (fun f ->
+        match Fact.arg f 0 with
+        | Value.Int a when a mod 2 = 1 -> [ v 1 ]
+        | _ -> [ v 2 ])
+  in
+  let d' = craft_d ~policy ~local:[ e 1 2 ] ~mem:[] ~msgs:[] () in
+  check_bool "incomplete without certificates" false
+    (Absence.complete graph d');
+  (* Certificates for the even-first facts restore completeness: the
+     absent E-facts over A = {1,2} with even first value. *)
+  let certs =
+    [ Fact.make "Abs_E" [ v 2; v 1 ]; Fact.make "Abs_E" [ v 2; v 2 ] ]
+  in
+  let d'' = craft_d ~policy ~local:[ e 1 2 ] ~mem:certs ~msgs:[] () in
+  check_bool "complete with certificates" true (Absence.complete graph d'')
+
+(* ------------------------------------------------------------------ *)
+(* Domain request *)
+
+let test_domain_request_collected () =
+  let d =
+    craft_d ~local:[ e 1 2 ]
+      ~mem:[ Fact.make "Got_E" [ v 3; v 4 ] ]
+      ~msgs:[ Fact.make "FMsg_E" [ v 5; v 6 ] ]
+      ()
+  in
+  Alcotest.check instance_testable "collected"
+    (Instance.of_list [ e 1 2; e 3 4; e 5 6 ])
+    (Domain_request.collected graph d)
+
+let test_domain_request_complete () =
+  (* Responsible for every value under the single policy: complete. *)
+  let d = craft_d ~local:[ e 1 2 ] ~mem:[] ~msgs:[] () in
+  check_bool "complete when responsible" true
+    (Domain_request.complete graph d);
+  (* Under a value-split policy node 1 owns odd values only; value 2 is
+     unresolved until an OK arrives. *)
+  let policy =
+    Network.Policy.domain_guided ~name:"parity-values" graph net (fun value ->
+        match value with
+        | Value.Int a when a mod 2 = 1 -> [ v 1 ]
+        | _ -> [ v 2 ])
+  in
+  let d' = craft_d ~policy ~local:[ e 1 2 ] ~mem:[] ~msgs:[] () in
+  check_bool "incomplete without OK" false (Domain_request.complete graph d');
+  let oks =
+    [ Fact.make "GotOk" [ v 1; v 2 ] ]
+  in
+  let d'' = craft_d ~policy ~local:[ e 1 2 ] ~mem:oks ~msgs:[] () in
+  check_bool "complete with OK" true (Domain_request.complete graph d'')
+
+let () =
+  Alcotest.run "strategies"
+    [
+      ( "common",
+        [
+          Alcotest.test_case "rename roundtrip" `Quick test_rename_roundtrip;
+          Alcotest.test_case "rename schema" `Quick test_rename_schema;
+          Alcotest.test_case "id and adom" `Quick test_my_id_and_adom;
+          Alcotest.test_case "responsibility" `Quick test_responsibility;
+          Alcotest.test_case "split responsibility" `Quick
+            test_responsibility_split_policy;
+        ] );
+      ( "broadcast",
+        [
+          Alcotest.test_case "known" `Quick test_broadcast_known;
+          Alcotest.test_case "delta snd" `Quick test_broadcast_delta_snd;
+        ] );
+      ( "absence",
+        [
+          Alcotest.test_case "certified absences" `Quick test_certified_absences;
+          Alcotest.test_case "completeness" `Quick test_absence_complete;
+        ] );
+      ( "domain-request",
+        [
+          Alcotest.test_case "collected" `Quick test_domain_request_collected;
+          Alcotest.test_case "completeness" `Quick test_domain_request_complete;
+        ] );
+    ]
