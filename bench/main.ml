@@ -4,7 +4,9 @@
    finishes with bechamel timing benches (E14/E15).
 
    Run with: dune exec bench/main.exe
-   Pass --quick to shrink the slowest experiments. *)
+   Pass --quick to shrink the slowest experiments, and --jobs N to size
+   the Domain pool of the E23 parallel-speedup section (default: all
+   cores). *)
 
 open Relational
 open Monotone
@@ -12,6 +14,17 @@ open Queries
 open Calm_core
 
 let quick = Array.exists (fun a -> a = "--quick") Sys.argv
+
+let jobs =
+  let rec find i =
+    if i >= Array.length Sys.argv then Parallel.Pool.default_jobs ()
+    else if Sys.argv.(i) = "--jobs" && i + 1 < Array.length Sys.argv then
+      match int_of_string_opt Sys.argv.(i + 1) with
+      | Some n when n >= 1 -> n
+      | _ -> Parallel.Pool.default_jobs ()
+    else find (i + 1)
+  in
+  find 1
 
 let violated = Checker.is_violation
 
@@ -928,6 +941,86 @@ let e19_model_checking () =
   Report.print t
 
 (* ================================================================== *)
+(* E23 — multicore: sequential vs parallel wall-clock on the hot paths *)
+(* ================================================================== *)
+
+let e23_parallel_speedup () =
+  let t =
+    Report.create
+      ~title:
+        (Printf.sprintf
+           "E23 / multicore: wall-clock, --jobs 1 vs --jobs %d (runtime \
+            recommends %d domain%s)"
+           jobs
+           (Parallel.Pool.default_jobs ())
+           (if Parallel.Pool.default_jobs () = 1 then "" else "s"))
+      ~columns:[ "workload"; "seq (s)"; "par (s)"; "speedup"; "agree" ]
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let row name ~seq ~par ~agree =
+    let r1, t1 = time seq in
+    let r2, t2 = time par in
+    Report.add_row t
+      [
+        name;
+        Printf.sprintf "%.3f" t1;
+        Printf.sprintf "%.3f" t2;
+        Printf.sprintf "%.2fx" (t1 /. t2);
+        Report.cell_bool (agree r1 r2);
+      ]
+  in
+  (* E19 workload: the domain-request model check explores the largest
+     state space of the suite (11 601 configurations). *)
+  let one_move = Instance.of_strings [ "Move(5,6)" ] in
+  let explore ?jobs () =
+    Network.Explore.check ~max_configs:60_000 ?jobs
+      ~variant:Network.Config.policy_aware
+      ~policy:(Network.Policy.hash_value Zoo.winmove.Query.input net2)
+      ~transducer:(Strategies.Domain_request.transducer Zoo.winmove)
+      ~query:Zoo.winmove ~input:one_move ()
+  in
+  row "E19: domain-request/win-move model check"
+    ~seq:(fun () -> explore ())
+    ~par:(fun () -> explore ~jobs ())
+    ~agree:(fun a b ->
+      Network.Explore.verdict_to_string a = Network.Explore.verdict_to_string b);
+  (* E21 workload: the bounded membership ladder of comp-TC. *)
+  let ladder ?jobs () =
+    Checker.ladder
+      ~bounds:{ Checker.dom_size = 3; fresh = 2; max_base = 4; max_ext = 1 }
+      ?jobs Classes.Distinct ~max_i:3 Zoo.comp_tc
+  in
+  row "E21: comp-TC Mdistinct ladder (i <= 3)"
+    ~seq:(fun () -> ladder ())
+    ~par:(fun () -> ladder ~jobs ())
+    ~agree:(fun a b ->
+      List.for_all2 (fun x y -> violated x = violated y) a b);
+  (* Sweep workload: the full policy x scheduler grid of E7's absence
+     strategy, cells fanned across the pool. *)
+  let sweep ?jobs () =
+    let input = Graph_gen.erdos_renyi ~seed:5 ~nodes:6 ~edges:9 in
+    Network.Netquery.check ~schedulers ?jobs
+      ~variant:Network.Config.policy_aware
+      ~transducer:(Strategies.Absence.transducer comp_edges)
+      ~query:comp_edges ~input net2
+  in
+  row "E7: absence/comp-edges policy x scheduler sweep"
+    ~seq:(fun () -> sweep ())
+    ~par:(fun () -> sweep ~jobs ())
+    ~agree:(fun a b ->
+      Network.Netquery.consistent a = Network.Netquery.consistent b
+      && List.map fst a.Network.Netquery.runs
+         = List.map fst b.Network.Netquery.runs);
+  Report.add_note t
+    "same verdicts by construction (first-in-enumeration-order selection); \
+     speedup needs physical cores — on a 1-core host expect ~1.0x";
+  Report.print t
+
+(* ================================================================== *)
 (* Bechamel timing benches (E14 wall-clock + E15 engine)               *)
 (* ================================================================== *)
 
@@ -1080,6 +1173,8 @@ let () =
   e17_delta_ablation ();
   print_newline ();
   e19_model_checking ();
+  print_newline ();
+  e23_parallel_speedup ();
   print_newline ();
   bechamel_section ();
   print_endline "\nall experiment tables printed."

@@ -63,6 +63,17 @@ let semantics_term =
         Datalog.Program.Stratified
     & info [ "semantics" ] ~docv:"SEM" ~doc:"stratified or well-founded.")
 
+let jobs_term =
+  Arg.(
+    value
+    & opt int (Parallel.Pool.default_jobs ())
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the parallel search paths (membership \
+           checking, model checking). Defaults to the number of cores; 1 \
+           forces the sequential paths. Verdicts and certificates are \
+           independent of $(docv).")
+
 let facts_term =
   Arg.(
     value
@@ -161,7 +172,7 @@ let bounds_term =
   Term.(const mk $ dom $ fresh $ base $ ext)
 
 let classify_cmd =
-  let run src outputs bounds =
+  let run src outputs bounds jobs =
     let program = load_program_any ~outputs src in
     let fragment = Datalog.Program.fragment program in
     Printf.printf "fragment:        %s\n" (Datalog.Fragment.to_string fragment);
@@ -174,7 +185,7 @@ let classify_cmd =
       (Calm_core.Hierarchy.transducer_model syntactic)
       (Calm_core.Hierarchy.datalog_fragment syntactic);
     let q = Datalog.Program.query ~name:"program" program in
-    let empirical = Calm_core.Hierarchy.place_empirically ~bounds q in
+    let empirical = Calm_core.Hierarchy.place_empirically ~bounds ~jobs q in
     Printf.printf "empirical level: %s (bounded: dom %d, fresh %d, base %d, ext %d)\n"
       (Calm_core.Hierarchy.to_string empirical)
       bounds.Monotone.Checker.dom_size bounds.Monotone.Checker.fresh
@@ -189,7 +200,8 @@ let classify_cmd =
   Cmd.v
     (Cmd.info "classify"
        ~doc:"place a program in the refined CALM hierarchy")
-    Term.(const run $ program_src_term $ outputs_term $ bounds_term)
+    Term.(
+      const run $ program_src_term $ outputs_term $ bounds_term $ jobs_term)
 
 (* ------------------------------------------------------------------ *)
 (* calm check *)
@@ -208,10 +220,10 @@ let check_cmd =
           Monotone.Classes.Plain
       & info [ "class" ] ~docv:"KIND" ~doc:"plain, distinct, or disjoint.")
   in
-  let run src outputs kind bounds =
+  let run src outputs kind bounds jobs =
     let program = load_program_any ~outputs src in
     let q = Datalog.Program.query ~name:"program" program in
-    match Monotone.Checker.check_exhaustive ~bounds kind q with
+    match Monotone.Checker.check_exhaustive ~bounds ~jobs kind q with
     | Monotone.Checker.No_violation { pairs } ->
       Printf.printf "%s-monotonicity holds on all %d admissible pairs within bounds\n"
         (Monotone.Classes.kind_to_string kind)
@@ -223,7 +235,9 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check"
        ~doc:"bounded-exhaustive monotonicity-class membership check")
-    Term.(const run $ program_src_term $ outputs_term $ kind_term $ bounds_term)
+    Term.(
+      const run $ program_src_term $ outputs_term $ kind_term $ bounds_term
+      $ jobs_term)
 
 (* ------------------------------------------------------------------ *)
 (* calm simulate *)
@@ -335,7 +349,7 @@ let explore_cmd =
       value & opt int 20_000
       & info [ "budget" ] ~doc:"Maximum configurations to explore.")
   in
-  let run src outputs facts facts_file budget =
+  let run src outputs facts facts_file budget jobs =
     let program = load_program_any ~outputs src in
     let input =
       resolve_input (Datalog.Program.input_schema program) facts facts_file
@@ -357,7 +371,7 @@ let explore_cmd =
       "model-checking every message order on a 2-node network (budget %d)...\n"
       budget;
     let verdict =
-      Network.Explore.check ~max_configs:budget
+      Network.Explore.check ~max_configs:budget ~jobs
         ~variant:compiled.Calm_core.Compile.variant ~policy
         ~transducer:compiled.Calm_core.Compile.transducer
         ~query:compiled.Calm_core.Compile.query ~input ()
@@ -371,7 +385,7 @@ let explore_cmd =
           order (tiny inputs)")
     Term.(
       const run $ program_src_term $ outputs_term $ facts_term
-      $ facts_file_term $ budget_term)
+      $ facts_file_term $ budget_term $ jobs_term)
 
 (* ------------------------------------------------------------------ *)
 

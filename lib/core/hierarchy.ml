@@ -46,15 +46,15 @@ let of_fragment (f : Datalog.Fragment.t) =
   | Datalog.Fragment.Semi_connected_stratified -> Domain_disjoint
   | Datalog.Fragment.Stratified | Datalog.Fragment.Unstratifiable -> Beyond
 
-let place_empirically ?bounds q =
-  let p = Monotone.Checker.place ?bounds q in
+let place_empirically ?bounds ?jobs q =
+  let p = Monotone.Checker.place ?bounds ?jobs q in
   let open Monotone.Checker in
   if not (is_violation p.plain) then Monotone
   else if not (is_violation p.distinct) then Domain_distinct
   else if not (is_violation p.disjoint) then Domain_disjoint
   else Beyond
 
-let placement_of_program ?bounds p =
+let placement_of_program ?bounds ?jobs p =
   let syntactic = of_fragment (Datalog.Program.fragment p) in
   let q = Datalog.Program.query ~name:"program" p in
-  (syntactic, place_empirically ?bounds q)
+  (syntactic, place_empirically ?bounds ?jobs q)

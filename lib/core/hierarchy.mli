@@ -36,12 +36,14 @@ val of_fragment : Datalog.Fragment.t -> level
     still sit lower). *)
 
 val place_empirically :
-  ?bounds:Monotone.Checker.bounds -> Query.t -> level
+  ?bounds:Monotone.Checker.bounds -> ?jobs:int -> Query.t -> level
 (** Bounded-exhaustive placement via {!Monotone.Checker.place}: the
-    strongest class with no violation found. *)
+    strongest class with no violation found. [jobs] fans the membership
+    probes across a Domain pool without changing the placement. *)
 
 val placement_of_program :
-  ?bounds:Monotone.Checker.bounds -> Datalog.Program.t -> level * level
+  ?bounds:Monotone.Checker.bounds -> ?jobs:int ->
+  Datalog.Program.t -> level * level
 (** [(syntactic, empirical)] placement of a Datalog¬ program; the
     syntactic level always bounds the empirical one from above when the
     checkers are given enough budget. *)

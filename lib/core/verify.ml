@@ -8,7 +8,7 @@ type report = {
   transitions_total : int;
 }
 
-let check ?schedulers ?max_rounds (c : Compile.compiled) ~inputs network =
+let check ?schedulers ?max_rounds ?jobs (c : Compile.compiled) ~inputs network =
   let policies =
     Network.Netquery.default_policies
       ~domain_guided_only:c.Compile.domain_guided_only
@@ -17,7 +17,7 @@ let check ?schedulers ?max_rounds (c : Compile.compiled) ~inputs network =
   let verdicts =
     List.map
       (fun input ->
-        Network.Netquery.check ?schedulers ~policies ?max_rounds
+        Network.Netquery.check ?schedulers ~policies ?max_rounds ?jobs
           ~variant:c.Compile.variant ~transducer:c.Compile.transducer
           ~query:c.Compile.query ~input network)
       inputs

@@ -15,9 +15,12 @@ type report = {
 val check :
   ?schedulers:(string * Network.Run.scheduler) list ->
   ?max_rounds:int ->
+  ?jobs:int ->
   Compile.compiled ->
   inputs:Instance.t list ->
   Distributed.network ->
   report
+(** [jobs] fans the per-input scheduler × policy sweep cells across a
+    Domain pool; the report is identical to the sequential one. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -15,20 +15,31 @@ type bounds = {
 
 let default_bounds = { dom_size = 3; fresh = 2; max_base = 4; max_ext = 2 }
 
-let scan kind q pairs =
-  let count = ref 0 in
-  let rec go s =
-    match s () with
-    | Seq.Nil -> No_violation { pairs = !count }
-    | Seq.Cons ((base, extension), rest) -> (
-      incr count;
-      match Classes.check_pair kind q ~base ~extension with
-      | Some v -> Violated v
-      | None -> go rest)
-  in
-  go pairs
+(* Scan the (base, extension) stream for a violation. With [jobs > 1]
+   the probes fan out across a Domain pool; the search is cancelled as
+   soon as any worker finds a violation, but the reported violation is
+   always the first one in enumeration order, so certificates (and their
+   shrunken forms) are reproducible independently of [jobs]. *)
+let scan ?jobs kind q pairs =
+  let probe (base, extension) = Classes.check_pair kind q ~base ~extension in
+  match jobs with
+  | Some j when j > 1 ->
+    Parallel.Pool.with_pool ~jobs:j (fun pool ->
+        match Parallel.Pool.search pool probe pairs with
+        | Parallel.Pool.Found v -> Violated v
+        | Parallel.Pool.Exhausted pairs -> No_violation { pairs })
+  | _ ->
+    let count = ref 0 in
+    let rec go s =
+      match s () with
+      | Seq.Nil -> No_violation { pairs = !count }
+      | Seq.Cons (pair, rest) -> (
+        incr count;
+        match probe pair with Some v -> Violated v | None -> go rest)
+    in
+    go pairs
 
-let check_exhaustive ?(bounds = default_bounds) ?schema kind q =
+let check_exhaustive ?(bounds = default_bounds) ?schema ?jobs kind q =
   let schema = Option.value schema ~default:q.Query.input in
   let dom = Enumerate.value_pool bounds.dom_size in
   let fresh = Enumerate.fresh_pool bounds.fresh in
@@ -39,9 +50,9 @@ let check_exhaustive ?(bounds = default_bounds) ?schema kind q =
              ~max_size:bounds.max_ext
            |> Seq.map (fun ext -> (base, ext)))
   in
-  scan kind q pairs
+  scan ?jobs kind q pairs
 
-let check_on_bases ?(fresh = 2) ?(max_ext = 2) kind q bases =
+let check_on_bases ?(fresh = 2) ?(max_ext = 2) ?jobs kind q bases =
   let fresh = Enumerate.fresh_pool fresh in
   let pairs =
     List.to_seq bases
@@ -50,7 +61,7 @@ let check_on_bases ?(fresh = 2) ?(max_ext = 2) kind q bases =
              ~max_size:max_ext
            |> Seq.map (fun ext -> (base, ext)))
   in
-  scan kind q pairs
+  scan ?jobs kind q pairs
 
 let random_instance st schema ~dom ~max_facts =
   let dom = Array.of_list dom in
@@ -95,7 +106,7 @@ let random_extension st kind schema ~base ~fresh ~max_size =
     |> fun i -> Instance.diff i base
 
 let check_random ?(seed = 17) ?(trials = 500) ?(bounds = default_bounds)
-    ?schema kind q =
+    ?schema ?jobs kind q =
   let schema = Option.value schema ~default:q.Query.input in
   let st = Random.State.make [| seed |] in
   let dom = Enumerate.value_pool bounds.dom_size in
@@ -112,14 +123,15 @@ let check_random ?(seed = 17) ?(trials = 500) ?(bounds = default_bounds)
            (not (Instance.is_empty extension))
            && Classes.admissible kind ~base ~extension)
   in
-  scan kind q pairs
+  scan ?jobs kind q pairs
 
-let ladder ?fresh ?bases ?(bounds = default_bounds) kind ~max_i q =
+let ladder ?fresh ?bases ?(bounds = default_bounds) ?jobs kind ~max_i q =
   List.init max_i (fun k ->
       let i = k + 1 in
       match bases with
-      | Some bases -> check_on_bases ?fresh ~max_ext:i kind q bases
-      | None -> check_exhaustive ~bounds:{ bounds with max_ext = i } kind q)
+      | Some bases -> check_on_bases ?fresh ~max_ext:i ?jobs kind q bases
+      | None ->
+        check_exhaustive ~bounds:{ bounds with max_ext = i } ?jobs kind q)
 
 type placement = {
   plain : outcome;
@@ -127,11 +139,11 @@ type placement = {
   disjoint : outcome;
 }
 
-let place ?bounds ?schema q =
+let place ?bounds ?schema ?jobs q =
   {
-    plain = check_exhaustive ?bounds ?schema Classes.Plain q;
-    distinct = check_exhaustive ?bounds ?schema Classes.Distinct q;
-    disjoint = check_exhaustive ?bounds ?schema Classes.Disjoint q;
+    plain = check_exhaustive ?bounds ?schema ?jobs Classes.Plain q;
+    distinct = check_exhaustive ?bounds ?schema ?jobs Classes.Distinct q;
+    disjoint = check_exhaustive ?bounds ?schema ?jobs Classes.Disjoint q;
   }
 
 let strongest p =

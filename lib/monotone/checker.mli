@@ -26,13 +26,17 @@ val default_bounds : bounds
 (** [{ dom_size = 3; fresh = 2; max_base = 4; max_ext = 2 }]. *)
 
 val check_exhaustive :
-  ?bounds:bounds -> ?schema:Schema.t -> Classes.kind -> Query.t -> outcome
+  ?bounds:bounds -> ?schema:Schema.t -> ?jobs:int ->
+  Classes.kind -> Query.t -> outcome
 (** Tries every base over the (input) schema within bounds, and every
     admissible extension of it. [schema] defaults to the query's input
-    schema. *)
+    schema. With [jobs > 1] the (base, extension) probes fan out across
+    that many domains; the verdict — including the certificate and the
+    pair count — is identical to the sequential one, because the search
+    reports the first violation in enumeration order. *)
 
 val check_on_bases :
-  ?fresh:int -> ?max_ext:int -> Classes.kind -> Query.t ->
+  ?fresh:int -> ?max_ext:int -> ?jobs:int -> Classes.kind -> Query.t ->
   Instance.t list -> outcome
 (** Exhaustive extensions over user-supplied base instances — used when
     the interesting bases are known (e.g. the paper's counterexample
@@ -44,11 +48,13 @@ val random_instance :
 
 val check_random :
   ?seed:int -> ?trials:int -> ?bounds:bounds -> ?schema:Schema.t ->
-  Classes.kind -> Query.t -> outcome
-(** Randomized pairs: random base, random admissible extension. *)
+  ?jobs:int -> Classes.kind -> Query.t -> outcome
+(** Randomized pairs: random base, random admissible extension. The pair
+    stream is drawn from the seeded RNG in enumeration order even under
+    [jobs > 1], so the verdict does not depend on [jobs]. *)
 
 val ladder :
-  ?fresh:int -> ?bases:Instance.t list -> ?bounds:bounds ->
+  ?fresh:int -> ?bases:Instance.t list -> ?bounds:bounds -> ?jobs:int ->
   Classes.kind -> max_i:int -> Query.t -> outcome list
 (** The bounded profile [M¹ₖ, M²ₖ, ..., Mᵐᵃˣₖ] of a query (Figure 1's
     bounded ladders): element [i-1] checks the class with extensions of
@@ -62,7 +68,8 @@ type placement = {
   disjoint : outcome;
 }
 
-val place : ?bounds:bounds -> ?schema:Schema.t -> Query.t -> placement
+val place :
+  ?bounds:bounds -> ?schema:Schema.t -> ?jobs:int -> Query.t -> placement
 (** Runs {!check_exhaustive} for all three kinds. *)
 
 val strongest : placement -> string

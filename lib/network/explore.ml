@@ -20,8 +20,8 @@ end)
 
 exception Found of verdict
 
-let check ?(max_configs = 20_000) ~variant ~policy ~transducer ~query ~input
-    () =
+let check ?(max_configs = 20_000) ?jobs ~variant ~policy ~transducer ~query
+    ~input () =
   let network = Policy.network policy in
   let expected = Query.apply query input in
   let schema = transducer.Transducer.schema in
@@ -81,52 +81,96 @@ let check ?(max_configs = 20_000) ~variant ~policy ~transducer ~query ~input
     Value.Map.equal Instance.equal s1 s2
     && Value.Map.equal Fact.Set.equal b1 b2
   in
+  let final_outputs_uncached config =
+    let rec go prev c budget =
+      if budget = 0 then Config.outputs schema c
+      else
+        let c' = full_round c in
+        let snap = snapshot c' in
+        match prev with
+        | Some p when snapshot_equal p snap -> Config.outputs schema c'
+        | _ -> go (Some snap) c' (budget - 1)
+    in
+    go None config 200
+  in
   let final_outputs config =
     match Cmap.find_opt config !final_cache with
     | Some o -> o
     | None ->
-      let rec go prev c budget =
-        if budget = 0 then Config.outputs schema c
-        else
-          let c' = full_round c in
-          let snap = snapshot c' in
-          match prev with
-          | Some p when snapshot_equal p snap -> Config.outputs schema c'
-          | _ -> go (Some snap) c' (budget - 1)
-      in
-      let o = go None config 200 in
+      let o = final_outputs_uncached config in
       final_cache := Cmap.add config o !final_cache;
       o
   in
-  let inspect config =
+  let inspect_with final config =
     let out = Config.outputs schema config in
-    (match Instance.to_list (Instance.diff out expected) with
-    | extra :: _ -> raise (Found (Wrong_output { config; extra }))
-    | [] -> ());
-    let final = final_outputs config in
-    match Instance.to_list (Instance.diff expected final) with
-    | missing :: _ -> raise (Found (Stuck { config; missing }))
-    | [] -> ()
+    match Instance.to_list (Instance.diff out expected) with
+    | extra :: _ -> Some (Wrong_output { config; extra })
+    | [] -> (
+      match Instance.to_list (Instance.diff expected (final config)) with
+      | missing :: _ -> Some (Stuck { config; missing })
+      | [] -> None)
   in
-  let visited = ref Cset.empty in
-  let queue = Queue.create () in
-  let enqueue c =
-    if not (Cset.mem c !visited) then begin
-      visited := Cset.add c !visited;
-      Queue.add c queue
-    end
-  in
-  enqueue (Config.start network);
-  try
-    while not (Queue.is_empty queue) do
-      if Cset.cardinal !visited > max_configs then
-        raise (Found (Out_of_budget { configs = Cset.cardinal !visited }));
-      let config = Queue.pop queue in
-      inspect config;
-      List.iter enqueue (successors config)
-    done;
-    Consistent { configs = Cset.cardinal !visited }
-  with Found v -> v
+  match jobs with
+  | Some j when j > 1 ->
+    (* Per-round fan-out: the expensive work on every frontier config
+       (output inspection, fair-continuation check, successor
+       computation) runs on the Domain pool, then a cheap sequential
+       replay merges successors and checks the budget in exactly the
+       order the sequential BFS pops configs — so verdicts, certificate
+       configs, and visited counts are identical to the sequential
+       run's. *)
+    Parallel.Pool.with_pool ~jobs:j (fun pool ->
+        let start = Config.start network in
+        let visited = ref (Cset.singleton start) in
+        let frontier = ref [ start ] in
+        try
+          while !frontier <> [] do
+            let expanded =
+              Parallel.Pool.map pool
+                (fun c -> (inspect_with final_outputs_uncached c, successors c))
+                !frontier
+            in
+            let next = ref [] in
+            List.iter
+              (fun (verdict, succs) ->
+                if Cset.cardinal !visited > max_configs then
+                  raise
+                    (Found (Out_of_budget { configs = Cset.cardinal !visited }));
+                (match verdict with Some v -> raise (Found v) | None -> ());
+                List.iter
+                  (fun c ->
+                    if not (Cset.mem c !visited) then begin
+                      visited := Cset.add c !visited;
+                      next := c :: !next
+                    end)
+                  succs)
+              expanded;
+            frontier := List.rev !next
+          done;
+          Consistent { configs = Cset.cardinal !visited }
+        with Found v -> v)
+  | _ ->
+    let visited = ref Cset.empty in
+    let queue = Queue.create () in
+    let enqueue c =
+      if not (Cset.mem c !visited) then begin
+        visited := Cset.add c !visited;
+        Queue.add c queue
+      end
+    in
+    enqueue (Config.start network);
+    (try
+       while not (Queue.is_empty queue) do
+         if Cset.cardinal !visited > max_configs then
+           raise (Found (Out_of_budget { configs = Cset.cardinal !visited }));
+         let config = Queue.pop queue in
+         (match inspect_with final_outputs config with
+         | Some v -> raise (Found v)
+         | None -> ());
+         List.iter enqueue (successors config)
+       done;
+       Consistent { configs = Cset.cardinal !visited }
+     with Found v -> v)
 
 let verdict_to_string = function
   | Consistent { configs } ->

@@ -29,13 +29,21 @@ type verdict =
 
 val check :
   ?max_configs:int ->
+  ?jobs:int ->
   variant:Config.variant ->
   policy:Policy.t ->
   transducer:Transducer.t ->
   query:Query.t ->
   input:Instance.t ->
   unit -> verdict
-(** [max_configs] defaults to 20_000. Exploration deduplicates
+(** [max_configs] defaults to 20_000. With [jobs > 1] each BFS round's
+    frontier is expanded on a Domain pool (inspection and successor
+    computation per config), and a sequential replay of the round merges
+    dedup sets and checks the budget in the sequential pop order — so
+    the verdict, its certificate configuration, and the visited-config
+    counts are identical to the sequential run's.
+
+    Exploration deduplicates
     configurations after abstracting message buffers to their supports
     (fair senders regenerate copies, and the transducer queries only see
     the support of a delivery), and explores heartbeat, full-buffer, and

@@ -28,27 +28,24 @@ type verdict = {
 
 let consistent v = v.mismatches = [] && v.all_quiesced
 
-let check ?(schedulers = default_schedulers) ?policies ?max_rounds ~variant
-    ~transducer ~query ~input network =
+let check ?(schedulers = default_schedulers) ?policies ?max_rounds ?jobs
+    ~variant ~transducer ~query ~input network =
   let policies =
     match policies with
     | Some ps -> ps
     | None -> default_policies query.Query.input network
   in
   let expected = Query.apply query input in
-  let runs =
+  let cells =
     List.concat_map
       (fun policy ->
         List.map
           (fun (sname, sched) ->
-            let label = Policy.name policy ^ "/" ^ sname in
-            let result =
-              Run.run ?max_rounds ~variant ~policy ~transducer ~input sched
-            in
-            (label, result))
+            (Policy.name policy ^ "/" ^ sname, policy, sched))
           schedulers)
       policies
   in
+  let runs = Run.sweep ?jobs ?max_rounds ~variant ~transducer ~input cells in
   let mismatches =
     List.filter_map
       (fun (label, r) ->

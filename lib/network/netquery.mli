@@ -27,6 +27,7 @@ val check :
   ?schedulers:(string * Run.scheduler) list ->
   ?policies:Policy.t list ->
   ?max_rounds:int ->
+  ?jobs:int ->
   variant:Config.variant ->
   transducer:Transducer.t ->
   query:Query.t ->
@@ -34,4 +35,5 @@ val check :
   Distributed.network -> verdict
 (** Runs the transducer network on the input under every
     scheduler × policy combination and compares the accumulated output
-    against [Q(input)]. *)
+    against [Q(input)]. With [jobs > 1] the independent sweep cells run
+    on a Domain pool ({!Run.sweep}); the verdict is unchanged. *)

@@ -131,6 +131,22 @@ let run ?tracer ?(max_rounds = 500) ~variant ~policy ~transducer ~input
     quiesced;
   }
 
+(* Run a batch of independent (label, policy, scheduler) sweep cells,
+   optionally fanning them across a Domain pool. Each cell owns its RNG
+   state (seeded per scheduler), so cells are independent and the result
+   list is identical to the sequential one, in the same order. Tracing
+   callbacks are not supported in parallel mode, so [sweep] takes
+   none. *)
+let sweep ?jobs ?max_rounds ~variant ~transducer ~input cells =
+  let run_cell (label, policy, scheduler) =
+    (label, run ?max_rounds ~variant ~policy ~transducer ~input scheduler)
+  in
+  match jobs with
+  | Some j when j > 1 ->
+    Parallel.Pool.with_pool ~jobs:j (fun pool ->
+        Parallel.Pool.map pool run_cell cells)
+  | _ -> List.map run_cell cells
+
 let heartbeat_prefix ?tracer ?(max_steps = 200) ~variant ~policy ~transducer
     ~input ~node () =
   let counters = { n_transitions = 0; n_messages = 0; n_deliveries = 0 } in

@@ -45,6 +45,19 @@ val run :
 (** [max_rounds] (default 500) bounds the stabilization phase; a result
     with [quiesced = false] hit the bound. *)
 
+val sweep :
+  ?jobs:int ->
+  ?max_rounds:int ->
+  variant:Config.variant ->
+  transducer:Transducer.t ->
+  input:Instance.t ->
+  (string * Policy.t * scheduler) list ->
+  (string * result) list
+(** Run a batch of independent (label, policy, scheduler) sweep cells,
+    fanning them across [jobs] domains when [jobs > 1]. Each cell seeds
+    its own RNG, so the result list is identical to the sequential one
+    and in the same order. *)
+
 val heartbeat_prefix :
   ?tracer:Trace.collector ->
   ?max_steps:int ->

@@ -1,0 +1,8 @@
+(** Multicore substrate: a hand-rolled fork-join Domain pool with an
+    order-preserving parallel map and a deterministic
+    first-in-enumeration-order counterexample search. Every consumer in
+    the checker, the model checker, and the sweep driver is property-
+    tested to agree verdict-for-verdict with its sequential
+    counterpart. *)
+
+module Pool = Pool

@@ -1,0 +1,244 @@
+(* A hand-rolled fork-join Domain pool.
+
+   The pool owns [jobs - 1] worker domains parked on a condition
+   variable; the owning domain participates in every parallel region, so
+   a [jobs = 1] pool spawns nothing and degenerates to the sequential
+   code path. Parallel regions are generation-numbered: [run] publishes
+   a body, bumps the generation, and every worker executes the body
+   exactly once per generation before parking again. Only [Domain],
+   [Mutex], and [Condition] are used.
+
+   Both combinators are deterministic: [map] preserves input order and,
+   when the function raises, re-raises the exception of the *first*
+   raising element in input order; [search] returns the first hit in
+   enumeration order even though later elements may be probed
+   concurrently. Determinism rests on one invariant: indices are issued
+   contiguously and an issued element is always processed to completion,
+   so when the winning event at index i is recorded, every index below i
+   has been issued and will report before the joins complete. *)
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  mutable generation : int;
+  mutable body : (unit -> unit) option;
+  mutable active : int;
+  mutable stopped : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let default_jobs () = Domain.recommended_domain_count ()
+let jobs t = t.jobs
+
+let worker t =
+  let rec loop gen =
+    Mutex.lock t.mutex;
+    while (not t.stopped) && t.generation = gen do
+      Condition.wait t.work_ready t.mutex
+    done;
+    if t.stopped then Mutex.unlock t.mutex
+    else begin
+      let gen = t.generation in
+      let body = Option.get t.body in
+      Mutex.unlock t.mutex;
+      (try body () with _ -> ());
+      Mutex.lock t.mutex;
+      t.active <- t.active - 1;
+      if t.active = 0 then Condition.broadcast t.work_done;
+      Mutex.unlock t.mutex;
+      loop gen
+    end
+  in
+  loop 0
+
+let create ?jobs () =
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> default_jobs ()
+  in
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+      generation = 0;
+      body = None;
+      active = 0;
+      stopped = false;
+      domains = [];
+    }
+  in
+  t.domains <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stopped <- true;
+  Condition.broadcast t.work_ready;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.domains;
+  t.domains <- []
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* Run [body] on every member of the pool (workers + the calling domain)
+   and return once all have finished. [body] must be exception-safe: a
+   worker swallows anything it raises, so the combinators below funnel
+   failures through shared state instead. *)
+let run t body =
+  if t.domains = [] then body ()
+  else begin
+    Mutex.lock t.mutex;
+    t.body <- Some body;
+    t.generation <- t.generation + 1;
+    t.active <- List.length t.domains;
+    Condition.broadcast t.work_ready;
+    Mutex.unlock t.mutex;
+    (try body () with e -> (
+       (* Wait for the workers even on an owner-side failure, otherwise a
+          second region could start while they still run the old body. *)
+       Mutex.lock t.mutex;
+       while t.active > 0 do Condition.wait t.work_done t.mutex done;
+       Mutex.unlock t.mutex;
+       raise e));
+    Mutex.lock t.mutex;
+    while t.active > 0 do Condition.wait t.work_done t.mutex done;
+    Mutex.unlock t.mutex
+  end
+
+(* Order-preserving parallel map. Equivalent to [List.map f xs],
+   including on raising [f]: the exception of the first raising element
+   (in input order) is re-raised. *)
+let map t f xs =
+  if t.domains = [] then List.map f xs
+  else begin
+    let arr = Array.of_list xs in
+    let n = Array.length arr in
+    let out = Array.make n None in
+    let m = Mutex.create () in
+    let next = ref 0 in
+    let err = ref None in
+    let take () =
+      Mutex.lock m;
+      let r =
+        let past_err =
+          match !err with Some (j, _) -> !next > j | None -> false
+        in
+        if past_err || !next >= n then None
+        else begin
+          let i = !next in
+          incr next;
+          Some i
+        end
+      in
+      Mutex.unlock m;
+      r
+    in
+    let record_err i e =
+      Mutex.lock m;
+      (match !err with
+      | Some (j, _) when j <= i -> ()
+      | _ -> err := Some (i, e));
+      Mutex.unlock m
+    in
+    run t (fun () ->
+        let rec go () =
+          match take () with
+          | None -> ()
+          | Some i ->
+            (match f arr.(i) with
+            | y -> out.(i) <- Some y
+            | exception e -> record_err i e);
+            go ()
+        in
+        go ());
+    match !err with
+    | Some (_, e) -> raise e
+    | None -> Array.to_list (Array.map Option.get out)
+  end
+
+type 'b outcome =
+  | Found of 'b
+  | Exhausted of int
+
+(* Counterexample search with cancellation. Probes elements of [seq]
+   concurrently but returns exactly what a sequential left-to-right scan
+   would: [Found b] for the first element on which [f] yields a hit
+   (raising whatever [f] or the sequence raised if an exception comes
+   first in enumeration order), or [Exhausted n] after all [n] elements
+   miss. Once a worker records an event at index i, no index above i is
+   issued any more, so all other workers drain and stop. *)
+let search t f seq =
+  let sequential () =
+    let count = ref 0 in
+    let rec go s =
+      match s () with
+      | Seq.Nil -> Exhausted !count
+      | Seq.Cons (x, rest) -> (
+        incr count;
+        match f x with Some b -> Found b | None -> go rest)
+    in
+    go seq
+  in
+  if t.domains = [] then sequential ()
+  else begin
+    let m = Mutex.create () in
+    let cur = ref seq in
+    let next = ref 0 in
+    (* Minimal-index event: a hit or an exception, whichever enumerates
+       first. *)
+    let best = ref None in
+    let record i ev =
+      match !best with
+      | Some (j, _) when j <= i -> ()
+      | _ -> best := Some (i, ev)
+    in
+    let take () =
+      Mutex.lock m;
+      let r =
+        let cutoff =
+          match !best with Some (j, _) -> j | None -> max_int
+        in
+        if !next >= cutoff then None
+        else
+          match !cur () with
+          | Seq.Nil -> None
+          | Seq.Cons (x, rest) ->
+            cur := rest;
+            let i = !next in
+            incr next;
+            Some (i, x)
+          | exception e ->
+            record !next (Error e);
+            cur := Seq.empty;
+            None
+      in
+      Mutex.unlock m;
+      r
+    in
+    let record_locked i ev =
+      Mutex.lock m;
+      record i ev;
+      Mutex.unlock m
+    in
+    run t (fun () ->
+        let rec go () =
+          match take () with
+          | None -> ()
+          | Some (i, x) ->
+            (match f x with
+            | Some b -> record_locked i (Ok b)
+            | None -> ()
+            | exception e -> record_locked i (Error e));
+            go ()
+        in
+        go ());
+    match !best with
+    | Some (_, Ok b) -> Found b
+    | Some (_, Error e) -> raise e
+    | None -> Exhausted !next
+  end

@@ -616,6 +616,31 @@ let prop_comp_tc_disjoint_monotone_random =
       Instance.subset (Query.apply Zoo.comp_tc i)
         (Query.apply Zoo.comp_tc (Instance.union i j)))
 
+let prop_shrink_locally_minimal =
+  QCheck2.Test.make ~name:"every Shrink certificate is locally minimal"
+    ~count:150
+    (QCheck2.Gen.pair gen_graph gen_graph)
+    (fun (base, ext) ->
+      (* A domain-disjoint copy of [ext] is admissible for every kind. *)
+      let shifted =
+        Instance.map_values
+          (function Value.Int x -> Value.Int (x + 100) | v -> v)
+          ext
+      in
+      let minimal_after_shrink kind extension =
+        match Classes.check_pair kind Zoo.comp_tc ~base ~extension with
+        | None -> true (* vacuous: not a violation to begin with *)
+        | Some v ->
+          let v' = Shrink.shrink Zoo.comp_tc v in
+          Shrink.is_minimal Zoo.comp_tc v'
+          && Classes.check_pair v'.Classes.kind Zoo.comp_tc
+               ~base:v'.Classes.base ~extension:v'.Classes.extension
+             <> None
+      in
+      minimal_after_shrink Classes.Plain (Instance.diff ext base)
+      && minimal_after_shrink Classes.Distinct shifted
+      && minimal_after_shrink Classes.Disjoint shifted)
+
 (* Random programs over binary predicates: edb {A, B}, idb {P, Q}, all
    arity 2, range-restricted by construction. [with_neg] adds negated
    edb atoms (semi-positive). *)
@@ -705,6 +730,7 @@ let qcheck_cases =
       prop_disjoint_union_preserves_winmove;
       prop_tc_monotone_random;
       prop_comp_tc_disjoint_monotone_random;
+      prop_shrink_locally_minimal;
     ]
 
 let () =

@@ -1,0 +1,347 @@
+(* The parallel ≡ sequential test wall.
+
+   Every parallel code path (Pool.map, Pool.search, the ?jobs paths of
+   the membership checker, the model checker, and the sweep driver) is
+   checked to agree verdict-for-verdict — certificates and counts
+   included — with the sequential path it replaces, at jobs ∈ {1, 2, 4}.
+   A regression test pins the determinism of the
+   first-violation-in-enumeration-order selection. *)
+
+open Relational
+open Monotone
+open Queries
+open Parallel
+
+let check_bool name expected actual = Alcotest.(check bool) name expected actual
+let check_int name expected actual = Alcotest.(check int) name expected actual
+
+let job_counts = [ 1; 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Pool.map ≡ List.map *)
+
+let prop_map_pure =
+  QCheck2.Test.make ~name:"Pool.map = List.map (pure functions)" ~count:60
+    QCheck2.Gen.(
+      triple (int_range 1 4) (int_range 0 5) (list (int_range (-50) 50)))
+    (fun (jobs, k, xs) ->
+      let f x = (x * x) + (k * x) - 7 in
+      Pool.with_pool ~jobs (fun pool -> Pool.map pool f xs) = List.map f xs)
+
+exception Boom of int
+
+let prop_map_exceptions =
+  QCheck2.Test.make
+    ~name:"Pool.map = List.map (raising functions, first exception wins)"
+    ~count:60
+    QCheck2.Gen.(
+      triple (int_range 1 4) (int_range 1 4) (list (int_range 0 30)))
+    (fun (jobs, modulus, xs) ->
+      let f x = if x mod modulus = 0 then raise (Boom x) else x + 1 in
+      let outcome g = match g () with
+        | ys -> Ok ys
+        | exception Boom i -> Error i
+      in
+      outcome (fun () -> Pool.with_pool ~jobs (fun p -> Pool.map p f xs))
+      = outcome (fun () -> List.map f xs))
+
+let test_map_pool_survives_exception () =
+  (* A raising map must not poison the pool: the same pool keeps
+     serving parallel regions afterwards. *)
+  Pool.with_pool ~jobs:4 (fun pool ->
+      (match Pool.map pool (fun x -> if x = 3 then raise (Boom 3) else x)
+               [ 1; 2; 3; 4; 5 ]
+       with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom 3 -> ());
+      check_bool "pool still works" true
+        (Pool.map pool (fun x -> x * 2) [ 1; 2; 3 ] = [ 2; 4; 6 ]);
+      check_bool "and again" true
+        (Pool.map pool string_of_int [ 7; 8 ] = [ "7"; "8" ]))
+
+let prop_search_first_hit =
+  QCheck2.Test.make
+    ~name:"Pool.search = sequential scan (first hit, exhausted count)"
+    ~count:100
+    QCheck2.Gen.(pair (int_range 1 4) (list (int_range 0 40)))
+    (fun (jobs, xs) ->
+      let f x = if x mod 7 = 0 then Some (x * 10) else None in
+      let sequential =
+        match List.find_map f xs with
+        | Some b -> Pool.Found b
+        | None -> Pool.Exhausted (List.length xs)
+      in
+      Pool.with_pool ~jobs (fun pool -> Pool.search pool f (List.to_seq xs))
+      = sequential)
+
+(* ------------------------------------------------------------------ *)
+(* Checker equivalence across the query zoo *)
+
+let violation_equal (a : Classes.violation) (b : Classes.violation) =
+  a.Classes.kind = b.Classes.kind
+  && a.Classes.bound = b.Classes.bound
+  && Instance.equal a.Classes.base b.Classes.base
+  && Instance.equal a.Classes.extension b.Classes.extension
+  && Fact.equal a.Classes.missing b.Classes.missing
+
+let outcome_equal a b =
+  match (a, b) with
+  | Checker.No_violation { pairs = p }, Checker.No_violation { pairs = q } ->
+    p = q
+  | Checker.Violated u, Checker.Violated v -> violation_equal u v
+  | _ -> false
+
+let small = { Checker.dom_size = 3; fresh = 2; max_base = 3; max_ext = 2 }
+
+let zoo =
+  [
+    ("tc", Zoo.tc);
+    ("comp-tc", Zoo.comp_tc);
+    ("q-clique-3", Zoo.q_clique 3);
+    ("q-star-2", Zoo.q_star 2);
+    ("q-duplicate-2", Zoo.q_duplicate 2);
+    ("triangles-unless-2-disjoint", Zoo.triangles_unless_two_disjoint);
+    ("win-move", Zoo.winmove);
+    ("win-move-doubled", Zoo.winmove_doubled);
+  ]
+
+let test_checker_zoo_equivalence () =
+  List.iter
+    (fun (name, q) ->
+      let bounds =
+        (* Win-move enumerates over the Move schema; keep the widest
+           queries inside test-time budgets without losing violations. *)
+        if name = "win-move" || name = "win-move-doubled" then
+          { small with Checker.max_base = 2 }
+        else small
+      in
+      List.iter
+        (fun kind ->
+          let seq = Checker.check_exhaustive ~bounds kind q in
+          List.iter
+            (fun jobs ->
+              let par = Checker.check_exhaustive ~bounds ~jobs kind q in
+              check_bool
+                (Printf.sprintf "%s/%s at jobs=%d" name
+                   (Classes.kind_to_string kind) jobs)
+                true (outcome_equal seq par))
+            job_counts)
+        [ Classes.Plain; Classes.Distinct; Classes.Disjoint ])
+    zoo
+
+let test_checker_random_equivalence () =
+  (* The randomized checker draws its pair stream from a seeded RNG in
+     enumeration order, so it too is jobs-independent. *)
+  List.iter
+    (fun jobs ->
+      let seq = Checker.check_random ~trials:300 Classes.Distinct Zoo.comp_tc in
+      let par =
+        Checker.check_random ~trials:300 ~jobs Classes.Distinct Zoo.comp_tc
+      in
+      check_bool (Printf.sprintf "random checker at jobs=%d" jobs) true
+        (outcome_equal seq par))
+    job_counts
+
+(* ------------------------------------------------------------------ *)
+(* Determinism regression: first-in-enumeration-order selection *)
+
+let test_parallel_certificate_deterministic () =
+  let certificate () =
+    match
+      Checker.check_exhaustive ~bounds:small ~jobs:4 Classes.Distinct
+        Zoo.comp_tc
+    with
+    | Checker.No_violation _ -> Alcotest.fail "expected a violation"
+    | Checker.Violated v ->
+      Format.asprintf "%a" Classes.pp_violation (Shrink.shrink Zoo.comp_tc v)
+  in
+  let first = certificate () in
+  for i = 2 to 10 do
+    Alcotest.(check string) (Printf.sprintf "run %d" i) first (certificate ())
+  done;
+  (* And the parallel certificate is the sequential one. *)
+  match Checker.check_exhaustive ~bounds:small Classes.Distinct Zoo.comp_tc with
+  | Checker.No_violation _ -> Alcotest.fail "expected a violation"
+  | Checker.Violated v ->
+    Alcotest.(check string) "matches sequential" first
+      (Format.asprintf "%a" Classes.pp_violation (Shrink.shrink Zoo.comp_tc v))
+
+(* ------------------------------------------------------------------ *)
+(* Explore equivalence on the four E19 cells *)
+
+let net2 = Distributed.network_of_ints [ 101; 102 ]
+
+let comp_edges =
+  Query.make ~name:"comp-edges" ~input:Graph_gen.schema
+    ~output:(Schema.of_list [ ("O", 2) ])
+    (fun i ->
+      let dom = Value.Set.elements (Instance.adom i) in
+      List.fold_left
+        (fun acc a ->
+          List.fold_left
+            (fun acc b ->
+              if Instance.mem (Fact.make "E" [ a; b ]) i then acc
+              else Instance.add (Fact.make "O" [ a; b ]) acc)
+            acc dom)
+        Instance.empty dom)
+
+let parity network a b =
+  Network.Policy.make ~name:"parity" Graph_gen.schema network (fun f ->
+      match Fact.arg f 0 with
+      | Value.Int x when x mod 2 = 1 -> [ Value.Int a ]
+      | _ -> [ Value.Int b ])
+
+let e19_cells =
+  let two_edges = Graph_gen.of_edges [ (1, 2); (2, 3) ] in
+  let crossed = Graph_gen.of_edges [ (1, 2); (2, 1) ] in
+  let tiny_net = Distributed.network_of_ints [ 1; 2 ] in
+  let one_move = Instance.of_strings [ "Move(5,6)" ] in
+  [
+    ( "broadcast/tc",
+      (Strategies.Broadcast.transducer Zoo.tc, Zoo.tc, two_edges,
+       Network.Config.oblivious, parity net2 101 102) );
+    ( "broadcast/comp-edges",
+      (Strategies.Broadcast.transducer comp_edges, comp_edges, crossed,
+       Network.Config.policy_aware, parity net2 101 102) );
+    ( "absence/comp-edges",
+      (Strategies.Absence.transducer comp_edges, comp_edges,
+       Graph_gen.of_edges [ (1, 2) ],
+       Network.Config.policy_aware, parity tiny_net 1 2) );
+    ( "domain-request/win-move",
+      (Strategies.Domain_request.transducer Zoo.winmove, Zoo.winmove,
+       one_move, Network.Config.policy_aware,
+       Network.Policy.hash_value Zoo.winmove.Query.input net2) );
+  ]
+
+let verdict_equal a b =
+  let open Network.Explore in
+  match (a, b) with
+  | Consistent { configs = x }, Consistent { configs = y } -> x = y
+  | Wrong_output { extra = x; _ }, Wrong_output { extra = y; _ } ->
+    Fact.equal x y
+  | Stuck { missing = x; _ }, Stuck { missing = y; _ } -> Fact.equal x y
+  | Out_of_budget { configs = x }, Out_of_budget { configs = y } -> x = y
+  | _ -> false
+
+let test_explore_equivalence () =
+  List.iter
+    (fun (name, (transducer, query, input, variant, policy)) ->
+      let run ?jobs () =
+        Network.Explore.check ~max_configs:60_000 ?jobs ~variant ~policy
+          ~transducer ~query ~input ()
+      in
+      let seq = run () in
+      List.iter
+        (fun jobs ->
+          check_bool (Printf.sprintf "%s at jobs=%d" name jobs) true
+            (verdict_equal seq (run ~jobs ())))
+        job_counts)
+    e19_cells
+
+(* ------------------------------------------------------------------ *)
+(* Sweep equivalence: the policy x scheduler grid *)
+
+let test_netquery_sweep_equivalence () =
+  let input = Graph_gen.of_edges [ (1, 2); (2, 3); (5, 1) ] in
+  let run ?jobs () =
+    Network.Netquery.check ?jobs ~variant:Network.Config.policy_aware
+      ~transducer:(Strategies.Absence.transducer comp_edges)
+      ~query:comp_edges ~input net2
+  in
+  let seq = run () in
+  List.iter
+    (fun jobs ->
+      let par = run ~jobs () in
+      check_bool
+        (Printf.sprintf "labels at jobs=%d" jobs)
+        true
+        (List.map fst seq.Network.Netquery.runs
+        = List.map fst par.Network.Netquery.runs);
+      check_bool
+        (Printf.sprintf "outputs at jobs=%d" jobs)
+        true
+        (List.for_all2
+           (fun (_, (a : Network.Run.result)) (_, (b : Network.Run.result)) ->
+             Instance.equal a.Network.Run.outputs b.Network.Run.outputs
+             && a.Network.Run.quiesced = b.Network.Run.quiesced
+             && a.Network.Run.messages_sent = b.Network.Run.messages_sent
+             && a.Network.Run.transitions = b.Network.Run.transitions)
+           seq.Network.Netquery.runs par.Network.Netquery.runs);
+      check_bool
+        (Printf.sprintf "mismatches at jobs=%d" jobs)
+        true
+        (seq.Network.Netquery.mismatches = par.Network.Netquery.mismatches))
+    job_counts
+
+(* ------------------------------------------------------------------ *)
+(* Pool plumbing *)
+
+let test_pool_basics () =
+  check_bool "default jobs >= 1" true (Pool.default_jobs () >= 1);
+  Pool.with_pool ~jobs:3 (fun pool -> check_int "jobs" 3 (Pool.jobs pool));
+  (* jobs <= 1 is clamped and spawns nothing. *)
+  Pool.with_pool ~jobs:0 (fun pool ->
+      check_int "clamped" 1 (Pool.jobs pool);
+      check_bool "sequential map" true
+        (Pool.map pool succ [ 1; 2 ] = [ 2; 3 ]))
+
+let test_pool_map_empty_and_large () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      check_bool "empty" true (Pool.map pool succ [] = []);
+      let xs = List.init 1000 Fun.id in
+      check_bool "1000 elements ordered" true
+        (Pool.map pool (fun x -> x * 3) xs = List.map (fun x -> x * 3) xs))
+
+let test_search_cancellation_deterministic () =
+  (* Many hits: always the first in enumeration order. *)
+  let xs = List.init 500 Fun.id in
+  Pool.with_pool ~jobs:4 (fun pool ->
+      for _ = 1 to 20 do
+        match
+          Pool.search pool
+            (fun x -> if x >= 100 then Some x else None)
+            (List.to_seq xs)
+        with
+        | Pool.Found 100 -> ()
+        | Pool.Found x -> Alcotest.fail (Printf.sprintf "found %d" x)
+        | Pool.Exhausted _ -> Alcotest.fail "exhausted"
+      done)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_map_pure; prop_map_exceptions; prop_search_first_hit ]
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "basics" `Quick test_pool_basics;
+          Alcotest.test_case "map empty/large" `Quick
+            test_pool_map_empty_and_large;
+          Alcotest.test_case "survives exceptions" `Quick
+            test_map_pool_survives_exception;
+          Alcotest.test_case "search cancellation" `Quick
+            test_search_cancellation_deterministic;
+        ] );
+      ( "checker-wall",
+        [
+          Alcotest.test_case "zoo equivalence" `Slow
+            test_checker_zoo_equivalence;
+          Alcotest.test_case "random checker equivalence" `Slow
+            test_checker_random_equivalence;
+          Alcotest.test_case "certificate determinism (10x)" `Slow
+            test_parallel_certificate_deterministic;
+        ] );
+      ( "explore-wall",
+        [
+          Alcotest.test_case "E19 cells equivalence" `Slow
+            test_explore_equivalence;
+        ] );
+      ( "sweep-wall",
+        [
+          Alcotest.test_case "netquery grid equivalence" `Slow
+            test_netquery_sweep_equivalence;
+        ] );
+      ("properties", qcheck_cases);
+    ]

@@ -322,6 +322,19 @@ let test_io_files () =
   Sys.remove path;
   check_bool "file roundtrip" true (Instance.equal i j)
 
+let test_dot_golden () =
+  (* Exact output for a small digraph: edges sorted, nodes quoted. *)
+  let i = inst [ edge 2 3; edge 1 2; edge 1 3 ] in
+  Alcotest.(check string) "golden"
+    "digraph G {\n\
+    \  \"1\" -> \"2\";\n\
+    \  \"1\" -> \"3\";\n\
+    \  \"2\" -> \"3\";\n\
+     }"
+    (Dot.of_relation i);
+  Alcotest.(check string) "golden empty" "digraph G {\n}"
+    (Dot.of_relation (inst [ fact "V" [ 1 ] ]))
+
 let test_dot () =
   let i = inst [ edge 1 2 ] in
   let s = Dot.of_relation i in
@@ -400,6 +413,33 @@ let prop_multiset_diff_union =
       let a = mk xs and b = mk ys in
       Multiset.equal (Multiset.diff (Multiset.union a b) b) a)
 
+(* Random instances over a mixed schema with int and symbol values, all
+   of which survive the fact-file syntax. *)
+let gen_io_instance =
+  QCheck2.Gen.(
+    let gen_value =
+      oneof
+        [
+          map Value.int (int_range 0 99);
+          map Value.sym (oneofl [ "a"; "b"; "foo"; "x1" ]);
+        ]
+    in
+    let gen_fact =
+      let* name, arity = oneofl [ ("E", 2); ("V", 1); ("R", 3) ] in
+      let* args = list_size (return arity) gen_value in
+      return (Fact.make name args)
+    in
+    map Instance.of_list (list_size (int_range 0 15) gen_fact))
+
+let prop_io_roundtrip =
+  QCheck2.Test.make ~name:"Io print/parse roundtrip" ~count:200 gen_io_instance
+    (fun i -> Instance.equal i (Io.parse_facts (Io.print_facts i)))
+
+let prop_io_csv_roundtrip =
+  QCheck2.Test.make ~name:"Io CSV print/parse roundtrip" ~count:200
+    gen_small_graph (fun i ->
+      Instance.equal i (Io.parse_csv ~rel:"E" (Io.print_csv ~rel:"E" i)))
+
 let prop_fact_compare_total_order =
   QCheck2.Test.make ~name:"fact compare antisymmetric" ~count:200
     (QCheck2.Gen.pair
@@ -419,6 +459,8 @@ let qcheck_cases =
       prop_induced_monotone;
       prop_multiset_union_size;
       prop_multiset_diff_union;
+      prop_io_roundtrip;
+      prop_io_csv_roundtrip;
       prop_fact_compare_total_order;
     ]
 
@@ -491,6 +533,7 @@ let () =
           Alcotest.test_case "comments and dots" `Quick test_io_comments_and_dots;
           Alcotest.test_case "csv" `Quick test_io_csv;
           Alcotest.test_case "files" `Quick test_io_files;
+          Alcotest.test_case "dot golden" `Quick test_dot_golden;
           Alcotest.test_case "dot export" `Quick test_dot;
         ] );
       ("properties", qcheck_cases);
