@@ -114,8 +114,8 @@ let resolve_input schema facts facts_file =
 
 let load_program ~outputs ~semantics src =
   try Datalog.Program.parse ~outputs ~semantics src with
-  | Datalog.Parser.Syntax_error { line; message } ->
-    Printf.eprintf "syntax error (line %d): %s\n" line message;
+  | Datalog.Parser.Syntax_error { line; col; message } ->
+    Printf.eprintf "syntax error (line %d, column %d): %s\n" line col message;
     exit 1
   | Invalid_argument msg ->
     Printf.eprintf "invalid program: %s\n" msg;
@@ -129,8 +129,8 @@ let load_program_any ~outputs src =
   | exception Invalid_argument _ ->
     Printf.eprintf "(not stratifiable; using well-founded semantics)\n";
     load_program ~outputs ~semantics:Datalog.Program.Well_founded src
-  | exception Datalog.Parser.Syntax_error { line; message } ->
-    Printf.eprintf "syntax error (line %d): %s\n" line message;
+  | exception Datalog.Parser.Syntax_error { line; col; message } ->
+    Printf.eprintf "syntax error (line %d, column %d): %s\n" line col message;
     exit 1
 
 (* ------------------------------------------------------------------ *)
@@ -388,6 +388,128 @@ let explore_cmd =
       $ facts_file_term $ budget_term $ jobs_term)
 
 (* ------------------------------------------------------------------ *)
+(* calm lint *)
+
+let lint_cmd =
+  let paths_term =
+    Arg.(
+      non_empty
+      & pos_all string []
+      & info [] ~docv:"PATH"
+          ~doc:"Files or directories; directories are searched recursively \
+                for $(b,.dlog) files.")
+  in
+  let format_term =
+    Arg.(
+      value
+      & opt (enum [ ("human", `Human); ("json", `Json); ("sarif", `Sarif) ])
+          `Human
+      & info [ "format" ] ~docv:"FMT" ~doc:"human, json, or sarif.")
+  in
+  let output_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "output" ] ~docv:"FILE" ~doc:"Write the report to $(docv).")
+  in
+  let claim_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "claim" ] ~docv:"FRAG"
+          ~doc:
+            "Claimed fragment: datalog, ineq, sp, con, semicon, or \
+             stratified. Violations become errors.")
+  in
+  let edb_term =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "edb" ] ~docv:"RELS" ~doc:"Predicates declared extensional.")
+  in
+  let lint_outputs_term =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "outputs"; "o" ] ~docv:"RELS"
+          ~doc:"Output relations (enables the unused-predicate check).")
+  in
+  let run paths format output claim edb outputs jobs =
+    let claim =
+      match claim with
+      | None -> None
+      | Some s -> (
+        match Analysis.Lint.claim_of_string s with
+        | Some _ as c -> c
+        | None ->
+          Printf.eprintf "unknown fragment claim: %s\n" s;
+          exit 2)
+    in
+    let options = { Analysis.Lint.claim; edb; outputs } in
+    match Analysis.Driver.collect paths with
+    | Error msg ->
+      Printf.eprintf "calm lint: %s\n" msg;
+      exit 2
+    | Ok [] ->
+      Printf.eprintf "calm lint: no .dlog files found\n";
+      exit 2
+    | Ok files ->
+      let reports = Analysis.Driver.run ~options ~jobs files in
+      let rendered =
+        match format with
+        | `Human -> Analysis.Driver.render_human reports
+        | `Json -> Analysis.Driver.render_json reports
+        | `Sarif -> Analysis.Driver.render_sarif reports
+      in
+      (match output with
+      | None -> print_string rendered
+      | Some f ->
+        let oc = open_out f in
+        output_string oc rendered;
+        close_out oc);
+      if Analysis.Driver.total Analysis.Diagnostic.Error reports > 0 then
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "report span-accurate diagnostics (CALM000-CALM013) for Datalog¬ \
+          sources")
+    Term.(
+      const run $ paths_term $ format_term $ output_term $ claim_term
+      $ edb_term $ lint_outputs_term $ jobs_term)
+
+(* ------------------------------------------------------------------ *)
+(* calm certify *)
+
+let certify_cmd =
+  let run src =
+    let rules =
+      try Datalog.Adom.augment (Datalog.Parser.parse_program src) with
+      | Datalog.Parser.Syntax_error { line; col; message } ->
+        Printf.eprintf "syntax error (line %d, column %d): %s\n" line col
+          message;
+        exit 1
+      | Invalid_argument msg ->
+        Printf.eprintf "invalid program: %s\n" msg;
+        exit 1
+    in
+    let cert = Analysis.certify rules in
+    print_string (Analysis.Certificate.to_string cert);
+    match Analysis.check_certificate rules cert with
+    | Ok () -> print_endline "certificate: VERIFIED by independent checker"
+    | Error msg ->
+      Printf.printf "certificate: REJECTED: %s\n" msg;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "certify"
+       ~doc:
+         "emit the fragment certificate (evidence + counter-witnesses) and \
+          check it independently")
+    Term.(const run $ program_src_term)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc = "weaker forms of monotonicity for declarative networking" in
@@ -397,5 +519,5 @@ let () =
        (Cmd.group info
           [
             eval_cmd; classify_cmd; check_cmd; simulate_cmd; explore_cmd;
-            graph_cmd; figure2_cmd;
+            graph_cmd; figure2_cmd; lint_cmd; certify_cmd;
           ]))

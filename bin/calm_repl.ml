@@ -116,8 +116,8 @@ let add_line line =
     | rules ->
       state.rules <- state.rules @ rules;
       Printf.printf "added %d rule(s)\n" (List.length rules)
-    | exception Datalog.Parser.Syntax_error { line; message } ->
-      Printf.printf "syntax error (line %d): %s\n" line message)
+    | exception Datalog.Parser.Syntax_error { line; col; message } ->
+      Printf.printf "syntax error (line %d, column %d): %s\n" line col message)
   else
     match Io.parse_facts line with
     | facts ->

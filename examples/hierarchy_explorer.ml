@@ -45,8 +45,8 @@ let default_input schema =
 let explore src outputs facts verify =
   let program =
     try Datalog.Program.parse ~outputs src with
-    | Datalog.Parser.Syntax_error { line; message } ->
-      Printf.eprintf "syntax error (line %d): %s\n" line message;
+    | Datalog.Parser.Syntax_error { line; col; message } ->
+      Printf.eprintf "syntax error (line %d, column %d): %s\n" line col message;
       exit 1
     | Invalid_argument msg ->
       Printf.eprintf "invalid program: %s\n" msg;

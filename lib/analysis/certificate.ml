@@ -1,0 +1,852 @@
+open Datalog
+
+(* Machine-checkable evidence for fragment membership (paper Figure 2).
+
+   A certificate pairs the classifier's verdict with (a) positive
+   evidence that the program lies in the claimed fragment and (b) one
+   counter-witness per strictly more specific fragment. The point of the
+   split: {!check} validates a certificate by local inspection of the
+   witnesses — spanning trees are verified edge by edge, stratification
+   witnesses constraint by constraint, cycles step by step — without
+   re-running the classifier's search. classify ≡ certify ∘ check is the
+   test wall. *)
+
+(* ------------------------------------------------------------------ *)
+(* Witnesses *)
+
+type spanning_edge = {
+  from_var : Ast.var;
+  to_var : Ast.var;
+  via_atom : int;  (** index into the rule's positive body *)
+}
+
+type connectivity_witness = {
+  cw_rule : int;
+  tree : spanning_edge list;
+      (** edges that connect every variable of [graph+(ϕ)]; empty for
+          rules with at most one positive-body variable *)
+}
+
+type disconnection_witness = {
+  dw_rule : int;
+  components : Ast.var list list;
+      (** a partition of the rule's positive-body variables into ≥ 2
+          parts no positive atom bridges *)
+}
+
+type stratification_witness = (string * int) list
+(** idb predicate → stratum number; valid iff every rule satisfies
+    ρ(body) ≤ ρ(head) for positive and ρ(body) < ρ(head) for negative
+    idb dependencies. *)
+
+type cycle_step = {
+  step_pred : string;
+  step_rule : int;
+  via_negation : bool;
+      (** rule [step_rule] has head [step_pred] and its body mentions the
+          previous step's predicate — under negation when set *)
+}
+
+type negative_cycle = cycle_step list
+
+type forcing_chain = {
+  fc_source : disconnection_witness;
+  fc_chain : (string * int) list;
+      (** dependency path from the unconnected rule's head: each
+          [(pred, rule)] has [rule]'s head [pred] and its body mentioning
+          the previous predicate; proves the final predicate lies in the
+          forced final stratum *)
+}
+
+type evidence =
+  | Ev_positive
+  | Ev_positive_ineq
+  | Ev_semi_positive
+  | Ev_connected of {
+      strat : stratification_witness;
+      trees : connectivity_witness list;
+    }
+  | Ev_semi_connected of {
+      strat : stratification_witness;
+      forced : string list;
+      trees : connectivity_witness list;  (** for every rule outside [forced] *)
+    }
+  | Ev_stratified of { strat : stratification_witness }
+  | Ev_unstratifiable of negative_cycle
+
+type exclusion =
+  | Has_ineq of { xrule : int; index : int }
+  | Has_negation of { xrule : int; index : int }
+  | Idb_negation of { xrule : int; index : int; defining_rule : int }
+  | Unconnected of disconnection_witness
+  | Inset_negation of {
+      xrule : int;
+      index : int;
+      head_chain : forcing_chain;
+      neg_chain : forcing_chain;
+    }
+
+type t = {
+  fragment : Fragment.t;
+  membership : evidence;
+  exclusions : exclusion list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Shared helpers *)
+
+let indexed p = List.mapi (fun i r -> (i, r)) p
+
+let head_preds p =
+  List.map (fun (r : Ast.rule) -> r.head.pred) p |> List.sort_uniq String.compare
+
+let body_preds (r : Ast.rule) =
+  List.map (fun (a : Ast.atom) -> a.pred) (r.pos @ r.neg)
+
+let pos_vars (r : Ast.rule) =
+  List.concat_map Ast.vars_of_atom r.pos |> List.sort_uniq String.compare
+
+let var_components r =
+  let graph = Connectivity.rule_graph r in
+  let adj v = try List.assoc v graph with Not_found -> [] in
+  let seen = Hashtbl.create 8 in
+  List.filter_map
+    (fun (v, _) ->
+      if Hashtbl.mem seen v then None
+      else begin
+        let comp = ref [] in
+        let rec dfs x =
+          if not (Hashtbl.mem seen x) then begin
+            Hashtbl.replace seen x ();
+            comp := x :: !comp;
+            List.iter dfs (adj x)
+          end
+        in
+        dfs v;
+        Some (List.sort String.compare !comp)
+      end)
+    graph
+
+let first_shared_atom (r : Ast.rule) u v =
+  let rec go i = function
+    | [] -> None
+    | (a : Ast.atom) :: rest ->
+      let vs = Ast.vars_of_atom a in
+      if List.mem u vs && List.mem v vs then Some i else go (i + 1) rest
+  in
+  go 0 r.pos
+
+let spanning_tree (r : Ast.rule) =
+  match Connectivity.rule_graph r with
+  | [] | [ _ ] -> []
+  | ((start, _) :: _) as graph ->
+    let adj v = try List.assoc v graph with Not_found -> [] in
+    let seen = Hashtbl.create 8 in
+    let edges = ref [] in
+    let rec dfs u =
+      Hashtbl.replace seen u ();
+      List.iter
+        (fun v ->
+          if not (Hashtbl.mem seen v) then begin
+            (match first_shared_atom r u v with
+            | Some i ->
+              edges := { from_var = u; to_var = v; via_atom = i } :: !edges
+            | None -> ());
+            dfs v
+          end)
+        (adj u)
+    in
+    dfs start;
+    List.rev !edges
+
+(* Dependency edges between idb predicates: [(from, to, rule, negated)]
+   when rule [rule] (with head [to]) mentions [from] in its body. *)
+let idb_edges p =
+  let idb = head_preds p in
+  List.concat_map
+    (fun (i, (r : Ast.rule)) ->
+      let t = r.head.pred in
+      List.filter_map
+        (fun (a : Ast.atom) ->
+          if List.mem a.pred idb then Some (a.pred, t, i, false) else None)
+        r.pos
+      @ List.filter_map
+          (fun (a : Ast.atom) ->
+            if List.mem a.pred idb then Some (a.pred, t, i, true) else None)
+          r.neg)
+    (indexed p)
+
+(* A cycle through negation: pick a negative edge q → h, search a path
+   h ⇝ q, close the loop. *)
+let find_negative_cycle p =
+  let edges = idb_edges p in
+  let succs v = List.filter (fun (u, _, _, _) -> u = v) edges in
+  let path_to ~start ~target =
+    (* BFS, returning the edge list of a path start ⇝ target. *)
+    let parent = Hashtbl.create 16 in
+    let queue = Queue.create () in
+    Queue.add start queue;
+    Hashtbl.replace parent start None;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty queue) do
+      let v = Queue.pop queue in
+      if v = target then found := true
+      else
+        List.iter
+          (fun ((_, w, _, _) as e) ->
+            if not (Hashtbl.mem parent w) then begin
+              Hashtbl.replace parent w (Some e);
+              Queue.add w queue
+            end)
+          (succs v)
+    done;
+    if not !found then None
+    else begin
+      let rec unwind v acc =
+        match Hashtbl.find parent v with
+        | None -> acc
+        | Some ((u, _, _, _) as e) -> unwind u (e :: acc)
+      in
+      Some (unwind target [])
+    end
+  in
+  List.find_map
+    (fun (q, h, rule, negated) ->
+      if not negated then None
+      else
+        match path_to ~start:h ~target:q with
+        | None -> None
+        | Some path ->
+          let steps =
+            { step_pred = h; step_rule = rule; via_negation = true }
+            :: List.map
+                 (fun (_, w, ri, n) ->
+                   { step_pred = w; step_rule = ri; via_negation = n })
+                 path
+          in
+          Some steps)
+    edges
+
+let strat_witness p =
+  match Stratify.stratify p with
+  | Error e -> invalid_arg ("Certificate.strat_witness: " ^ e)
+  | Ok { number; _ } ->
+    List.filter_map
+      (fun q -> match number q with Some n -> Some (q, n) | None -> None)
+      (head_preds p)
+
+(* Chain from some unconnected rule's head to [target], walking the
+   "dependents" direction of the idb dependency graph. *)
+let forcing_chain_to p ~witnesses target =
+  let edges = idb_edges p in
+  List.find_map
+    (fun (dw : disconnection_witness) ->
+      let source = (List.nth p dw.dw_rule).Ast.head.pred in
+      if source = target then Some { fc_source = dw; fc_chain = [] }
+      else begin
+        let parent = Hashtbl.create 16 in
+        let queue = Queue.create () in
+        Queue.add source queue;
+        Hashtbl.replace parent source None;
+        let found = ref false in
+        while (not !found) && not (Queue.is_empty queue) do
+          let v = Queue.pop queue in
+          if v = target then found := true
+          else
+            List.iter
+              (fun (u, w, ri, _) ->
+                if u = v && not (Hashtbl.mem parent w) then begin
+                  Hashtbl.replace parent w (Some (v, w, ri));
+                  Queue.add w queue
+                end)
+              edges
+        done;
+        if not !found then None
+        else begin
+          let rec unwind v acc =
+            match Hashtbl.find parent v with
+            | None -> acc
+            | Some (u, w, ri) -> unwind u ((w, ri) :: acc)
+          in
+          Some { fc_source = dw; fc_chain = unwind target [] }
+        end
+      end)
+    witnesses
+
+(* ------------------------------------------------------------------ *)
+(* Certification *)
+
+let certify p =
+  let fragment = Fragment.classify p in
+  let idx = indexed p in
+  let idb = head_preds p in
+  let is_idb q = List.mem q idb in
+  let defining_rule q =
+    List.find_map (fun (i, (r : Ast.rule)) -> if r.head.pred = q then Some i else None) idx
+  in
+  let first_ineq =
+    List.find_map
+      (fun (i, (r : Ast.rule)) ->
+        if r.ineq <> [] then Some (Has_ineq { xrule = i; index = 0 }) else None)
+      idx
+  in
+  let first_neg =
+    List.find_map
+      (fun (i, (r : Ast.rule)) ->
+        if r.neg <> [] then Some (Has_negation { xrule = i; index = 0 })
+        else None)
+      idx
+  in
+  let first_idb_neg =
+    List.find_map
+      (fun (i, (r : Ast.rule)) ->
+        List.mapi (fun j (a : Ast.atom) -> (j, a)) r.neg
+        |> List.find_map (fun (j, (a : Ast.atom)) ->
+               if is_idb a.pred then
+                 Some
+                   (Idb_negation
+                      {
+                        xrule = i;
+                        index = j;
+                        defining_rule = Option.get (defining_rule a.pred);
+                      })
+               else None))
+      idx
+  in
+  let disconnections =
+    List.filter_map
+      (fun (i, r) ->
+        if Connectivity.rule_is_connected r then None
+        else Some { dw_rule = i; components = var_components r })
+      idx
+  in
+  let all_trees () =
+    List.map (fun (i, r) -> { cw_rule = i; tree = spanning_tree r }) idx
+  in
+  let need name = function
+    | Some x -> x
+    | None -> invalid_arg ("Certificate.certify: missing witness: " ^ name)
+  in
+  match fragment with
+  | Fragment.Positive -> { fragment; membership = Ev_positive; exclusions = [] }
+  | Fragment.Positive_ineq ->
+    {
+      fragment;
+      membership = Ev_positive_ineq;
+      exclusions = [ need "ineq" first_ineq ];
+    }
+  | Fragment.Semi_positive ->
+    {
+      fragment;
+      membership = Ev_semi_positive;
+      exclusions = [ need "negation" first_neg ];
+    }
+  | Fragment.Unstratifiable ->
+    {
+      fragment;
+      membership =
+        Ev_unstratifiable (need "negative cycle" (find_negative_cycle p));
+      exclusions =
+        [ need "negation" first_neg; need "idb negation" first_idb_neg ];
+    }
+  | Fragment.Connected_stratified ->
+    {
+      fragment;
+      membership = Ev_connected { strat = strat_witness p; trees = all_trees () };
+      exclusions =
+        [ need "negation" first_neg; need "idb negation" first_idb_neg ];
+    }
+  | Fragment.Semi_connected_stratified ->
+    let forced = Connectivity.forced_final_stratum p in
+    let trees =
+      List.filter_map
+        (fun (i, (r : Ast.rule)) ->
+          if List.mem r.head.pred forced then None
+          else Some { cw_rule = i; tree = spanning_tree r })
+        idx
+    in
+    {
+      fragment;
+      membership = Ev_semi_connected { strat = strat_witness p; forced; trees };
+      exclusions =
+        [
+          need "negation" first_neg;
+          need "idb negation" first_idb_neg;
+          Unconnected (need "disconnection" (List.nth_opt disconnections 0));
+        ];
+    }
+  | Fragment.Stratified ->
+    let forced = Connectivity.forced_final_stratum p in
+    let inset =
+      List.find_map
+        (fun (i, (r : Ast.rule)) ->
+          if not (List.mem r.head.pred forced) then None
+          else
+            List.mapi (fun j (a : Ast.atom) -> (j, a)) r.neg
+            |> List.find_map (fun (j, (a : Ast.atom)) ->
+                   if not (List.mem a.pred forced) then None
+                   else
+                     match
+                       ( forcing_chain_to p ~witnesses:disconnections
+                           r.head.pred,
+                         forcing_chain_to p ~witnesses:disconnections a.pred )
+                     with
+                     | Some head_chain, Some neg_chain ->
+                       Some
+                         (Inset_negation
+                            { xrule = i; index = j; head_chain; neg_chain })
+                     | _ -> None))
+        idx
+    in
+    {
+      fragment;
+      membership = Ev_stratified { strat = strat_witness p };
+      exclusions =
+        [
+          need "negation" first_neg;
+          need "idb negation" first_idb_neg;
+          Unconnected (need "disconnection" (List.nth_opt disconnections 0));
+          need "in-set negation" inset;
+        ];
+    }
+
+(* ------------------------------------------------------------------ *)
+(* The independent checker *)
+
+let ( let* ) = Result.bind
+
+let err fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+let rec all_ok = function
+  | [] -> Ok ()
+  | x :: rest ->
+    let* () = x () in
+    all_ok rest
+
+let check p cert =
+  let n = List.length p in
+  let rule_at i =
+    if i < 0 || i >= n then err "rule index %d out of range" i
+    else Ok (List.nth p i)
+  in
+  let idb = head_preds p in
+  let is_idb q = List.mem q idb in
+
+  let check_no_neg () =
+    match
+      List.find_opt (fun (r : Ast.rule) -> r.neg <> []) p
+    with
+    | Some r -> err "claimed negation-free but %s has a negated literal" r.head.pred
+    | None -> Ok ()
+  in
+  let check_no_ineq () =
+    match List.find_opt (fun (r : Ast.rule) -> r.ineq <> []) p with
+    | Some r -> err "claimed inequality-free but %s has an inequality" r.head.pred
+    | None -> Ok ()
+  in
+  let check_sp () =
+    match
+      List.find_opt
+        (fun (r : Ast.rule) ->
+          List.exists (fun (a : Ast.atom) -> is_idb a.pred) r.neg)
+        p
+    with
+    | Some r -> err "claimed semi-positive but %s negates an idb predicate" r.head.pred
+    | None -> Ok ()
+  in
+
+  let check_strat (w : stratification_witness) =
+    let number q = List.assoc_opt q w in
+    let* () =
+      all_ok
+        (List.map
+           (fun (q, s) () ->
+             if not (is_idb q) then err "stratification assigns non-idb %s" q
+             else if s < 1 then err "stratum of %s is %d < 1" q s
+             else Ok ())
+           w)
+    in
+    let* () =
+      all_ok
+        (List.map
+           (fun q () ->
+             match number q with
+             | Some _ -> Ok ()
+             | None -> err "idb predicate %s missing from stratification" q)
+           idb)
+    in
+    all_ok
+      (List.map
+         (fun (r : Ast.rule) () ->
+           let h = Option.value ~default:0 (number r.head.pred) in
+           let* () =
+             all_ok
+               (List.map
+                  (fun (a : Ast.atom) () ->
+                    match number a.pred with
+                    | Some s when s > h ->
+                      err "positive dependency %s (stratum %d) above head %s (%d)"
+                        a.pred s r.head.pred h
+                    | _ -> Ok ())
+                  r.pos)
+           in
+           all_ok
+             (List.map
+                (fun (a : Ast.atom) () ->
+                  match number a.pred with
+                  | Some s when s >= h ->
+                    err "negative dependency %s (stratum %d) not below head %s (%d)"
+                      a.pred s r.head.pred h
+                  | _ -> Ok ())
+                r.neg))
+         p)
+  in
+
+  let check_tree (cw : connectivity_witness) =
+    let* r = rule_at cw.cw_rule in
+    let vars = pos_vars r in
+    if List.length vars <= 1 then Ok ()
+    else begin
+      let* () =
+        all_ok
+          (List.map
+             (fun e () ->
+               if e.from_var = e.to_var then
+                 err "rule %d: degenerate spanning edge %s" cw.cw_rule e.from_var
+               else
+                 match List.nth_opt r.pos e.via_atom with
+                 | None -> err "rule %d: spanning edge cites missing atom %d" cw.cw_rule e.via_atom
+                 | Some a ->
+                   let vs = Ast.vars_of_atom a in
+                   if List.mem e.from_var vs && List.mem e.to_var vs then Ok ()
+                   else
+                     err "rule %d: %s and %s do not co-occur in atom %d"
+                       cw.cw_rule e.from_var e.to_var e.via_atom)
+             cw.tree)
+      in
+      (* The cited edges must connect every positive-body variable. *)
+      let reached = Hashtbl.create 8 in
+      let rec grow v =
+        if not (Hashtbl.mem reached v) then begin
+          Hashtbl.replace reached v ();
+          List.iter
+            (fun e ->
+              if e.from_var = v then grow e.to_var
+              else if e.to_var = v then grow e.from_var)
+            cw.tree
+        end
+      in
+      grow (List.hd vars);
+      match List.find_opt (fun v -> not (Hashtbl.mem reached v)) vars with
+      | Some v ->
+        err "rule %d: spanning certificate does not reach variable %s"
+          cw.cw_rule v
+      | None -> Ok ()
+    end
+  in
+
+  let check_components (dw : disconnection_witness) =
+    let* r = rule_at dw.dw_rule in
+    let vars = pos_vars r in
+    let flat = List.concat dw.components in
+    let* () =
+      if List.length dw.components < 2 then
+        err "rule %d: fewer than two components" dw.dw_rule
+      else if List.exists (fun c -> c = []) dw.components then
+        err "rule %d: empty component" dw.dw_rule
+      else Ok ()
+    in
+    let* () =
+      if List.sort String.compare flat <> vars then
+        err "rule %d: components do not partition the positive variables"
+          dw.dw_rule
+      else if List.length flat <> List.length (List.sort_uniq String.compare flat)
+      then err "rule %d: components overlap" dw.dw_rule
+      else Ok ()
+    in
+    let component_of v =
+      List.find_opt (fun c -> List.mem v c) dw.components
+    in
+    all_ok
+      (List.map
+         (fun (a : Ast.atom) () ->
+           let vs = Ast.vars_of_atom a in
+           match vs with
+           | [] -> Ok ()
+           | v :: rest ->
+             let c = component_of v in
+             if List.for_all (fun w -> component_of w = c) rest then Ok ()
+             else
+               err "rule %d: atom %s bridges two claimed components" dw.dw_rule
+                 a.pred)
+         r.pos)
+  in
+
+  let check_cycle (steps : negative_cycle) =
+    let* () = if steps = [] then err "empty cycle witness" else Ok () in
+    let* () =
+      if List.exists (fun s -> s.via_negation) steps then Ok ()
+      else err "cycle witness has no negative edge"
+    in
+    let k = List.length steps in
+    all_ok
+      (List.mapi
+         (fun j (s : cycle_step) () ->
+           let prev = (List.nth steps ((j + k - 1) mod k)).step_pred in
+           let* r = rule_at s.step_rule in
+           if r.head.pred <> s.step_pred then
+             err "cycle step %d: rule %d does not define %s" j s.step_rule
+               s.step_pred
+           else
+             let pool = if s.via_negation then r.neg else r.pos in
+             if List.exists (fun (a : Ast.atom) -> a.pred = prev) pool then
+               Ok ()
+             else
+               err "cycle step %d: rule %d does not mention %s%s" j s.step_rule
+                 prev
+                 (if s.via_negation then " under negation" else ""))
+         steps)
+  in
+
+  let check_chain (fc : forcing_chain) target =
+    let* () = check_components fc.fc_source in
+    let* source = rule_at fc.fc_source.dw_rule in
+    let final =
+      List.fold_left (fun _ (q, _) -> q) source.Ast.head.pred fc.fc_chain
+    in
+    let* () =
+      if final <> target then
+        err "forcing chain ends at %s, not %s" final target
+      else Ok ()
+    in
+    let rec walk prev = function
+      | [] -> Ok ()
+      | (q, ri) :: rest ->
+        let* r = rule_at ri in
+        if r.Ast.head.pred <> q then
+          err "forcing chain: rule %d does not define %s" ri q
+        else if not (List.mem prev (body_preds r)) then
+          err "forcing chain: rule %d does not depend on %s" ri prev
+        else walk q rest
+    in
+    walk source.Ast.head.pred fc.fc_chain
+  in
+
+  (* -- membership ------------------------------------------------- *)
+  let* () =
+    match (cert.fragment, cert.membership) with
+    | Fragment.Positive, Ev_positive ->
+      let* () = check_no_neg () in
+      check_no_ineq ()
+    | Fragment.Positive_ineq, Ev_positive_ineq -> check_no_neg ()
+    | Fragment.Semi_positive, Ev_semi_positive -> check_sp ()
+    | Fragment.Connected_stratified, Ev_connected { strat; trees } ->
+      let* () = check_strat strat in
+      let* () =
+        all_ok
+          (List.map
+             (fun i () ->
+               match List.find_opt (fun cw -> cw.cw_rule = i) trees with
+               | Some cw -> check_tree cw
+               | None -> err "no spanning certificate for rule %d" i)
+             (List.init n Fun.id))
+      in
+      Ok ()
+    | Fragment.Semi_connected_stratified, Ev_semi_connected { strat; forced; trees }
+      ->
+      let* () = check_strat strat in
+      let* () =
+        all_ok
+          (List.map (fun q () ->
+               if is_idb q then Ok ()
+               else err "forced set lists non-idb predicate %s" q)
+             forced)
+      in
+      (* Rules outside the forced set must be certified connected. *)
+      let* () =
+        all_ok
+          (List.map
+             (fun (i, (r : Ast.rule)) () ->
+               if List.mem r.head.pred forced then Ok ()
+               else
+                 match List.find_opt (fun cw -> cw.cw_rule = i) trees with
+                 | Some cw -> check_tree cw
+                 | None ->
+                   err "rule %d outside forced set lacks a spanning certificate" i)
+             (indexed p))
+      in
+      (* Upward closure: a rule depending on the forced set is in it. *)
+      let* () =
+        all_ok
+          (List.map
+             (fun (r : Ast.rule) () ->
+               if
+                 List.exists (fun q -> List.mem q forced) (body_preds r)
+                 && not (List.mem r.head.pred forced)
+               then
+                 err "forced set not upward closed: %s depends on it"
+                   r.head.pred
+               else Ok ())
+             p)
+      in
+      (* The forced set must be one semi-positive stratum. *)
+      all_ok
+        (List.map
+           (fun (r : Ast.rule) () ->
+             if
+               List.mem r.head.pred forced
+               && List.exists
+                    (fun (a : Ast.atom) -> List.mem a.pred forced)
+                    r.neg
+             then err "in-set negation inside the forced final stratum (%s)" r.head.pred
+             else Ok ())
+           p)
+    | Fragment.Stratified, Ev_stratified { strat } -> check_strat strat
+    | Fragment.Unstratifiable, Ev_unstratifiable cycle -> check_cycle cycle
+    | _ -> err "membership evidence does not match fragment %s"
+             (Fragment.to_string cert.fragment)
+  in
+
+  (* -- exclusions -------------------------------------------------- *)
+  let check_exclusion = function
+    | Has_ineq { xrule; index } ->
+      let* r = rule_at xrule in
+      if List.nth_opt r.ineq index <> None then Ok ()
+      else err "rule %d has no inequality at index %d" xrule index
+    | Has_negation { xrule; index } ->
+      let* r = rule_at xrule in
+      if List.nth_opt r.neg index <> None then Ok ()
+      else err "rule %d has no negated literal at index %d" xrule index
+    | Idb_negation { xrule; index; defining_rule } ->
+      let* r = rule_at xrule in
+      let* d = rule_at defining_rule in
+      (match List.nth_opt r.neg index with
+      | None -> err "rule %d has no negated literal at index %d" xrule index
+      | Some (a : Ast.atom) ->
+        if d.head.pred = a.pred then Ok ()
+        else err "rule %d does not define the negated predicate %s" defining_rule a.pred)
+    | Unconnected dw -> check_components dw
+    | Inset_negation { xrule; index; head_chain; neg_chain } ->
+      let* r = rule_at xrule in
+      (match List.nth_opt r.neg index with
+      | None -> err "rule %d has no negated literal at index %d" xrule index
+      | Some (a : Ast.atom) ->
+        let* () = check_chain head_chain r.head.pred in
+        check_chain neg_chain a.pred)
+  in
+  let* () = all_ok (List.map (fun x () -> check_exclusion x) cert.exclusions) in
+
+  (* -- the exclusion set must rule out every stronger fragment ----- *)
+  let tag = function
+    | Has_ineq _ -> `Ineq
+    | Has_negation _ -> `Neg
+    | Idb_negation _ -> `Idb_neg
+    | Unconnected _ -> `Unconnected
+    | Inset_negation _ -> `Inset
+  in
+  let required =
+    match cert.fragment with
+    | Fragment.Positive -> []
+    | Fragment.Positive_ineq -> [ (`Ineq, "an inequality (not plain Datalog)") ]
+    | Fragment.Semi_positive -> [ (`Neg, "a negation (not positive)") ]
+    | Fragment.Connected_stratified | Fragment.Unstratifiable ->
+      [
+        (`Neg, "a negation (not positive)");
+        (`Idb_neg, "an idb negation (not SP)");
+      ]
+    | Fragment.Semi_connected_stratified ->
+      [
+        (`Neg, "a negation (not positive)");
+        (`Idb_neg, "an idb negation (not SP)");
+        (`Unconnected, "an unconnected rule (not con)");
+      ]
+    | Fragment.Stratified ->
+      [
+        (`Neg, "a negation (not positive)");
+        (`Idb_neg, "an idb negation (not SP)");
+        (`Unconnected, "an unconnected rule (not con)");
+        (`Inset, "an in-set negation (not semicon)");
+      ]
+  in
+  let tags = List.map tag cert.exclusions in
+  all_ok
+    (List.map
+       (fun (t, what) () ->
+         if List.mem t tags then Ok ()
+         else err "missing counter-witness: %s" what)
+       required)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering *)
+
+let pp_chain ppf fc =
+  let source = Printf.sprintf "rule %d" fc.fc_source.dw_rule in
+  match fc.fc_chain with
+  | [] -> Format.fprintf ppf "head of unconnected %s" source
+  | chain ->
+    Format.fprintf ppf "from unconnected %s via %s" source
+      (String.concat " -> " (List.map fst chain))
+
+let pp_evidence ppf = function
+  | Ev_positive -> Format.fprintf ppf "  every rule is positive, no inequalities@."
+  | Ev_positive_ineq -> Format.fprintf ppf "  every rule is positive@."
+  | Ev_semi_positive ->
+    Format.fprintf ppf "  every negated predicate is extensional@."
+  | Ev_connected { strat; trees } ->
+    Format.fprintf ppf "  stratification: %s@."
+      (String.concat ", "
+         (List.map (fun (q, s) -> Printf.sprintf "%s:%d" q s) strat));
+    Format.fprintf ppf "  spanning certificates for %d rule(s)@."
+      (List.length trees)
+  | Ev_semi_connected { strat; forced; trees } ->
+    Format.fprintf ppf "  stratification: %s@."
+      (String.concat ", "
+         (List.map (fun (q, s) -> Printf.sprintf "%s:%d" q s) strat));
+    Format.fprintf ppf "  forced final stratum: {%s}@."
+      (String.concat ", " forced);
+    Format.fprintf ppf
+      "  spanning certificates for the %d rule(s) outside it@."
+      (List.length trees)
+  | Ev_stratified { strat } ->
+    Format.fprintf ppf "  stratification: %s@."
+      (String.concat ", "
+         (List.map (fun (q, s) -> Printf.sprintf "%s:%d" q s) strat))
+  | Ev_unstratifiable cycle ->
+    Format.fprintf ppf "  cycle through negation: %s@."
+      (String.concat " -> "
+         (List.map
+            (fun s ->
+              if s.via_negation then "not " ^ s.step_pred else s.step_pred)
+            cycle))
+
+let pp_exclusion ppf = function
+  | Has_ineq { xrule; _ } ->
+    Format.fprintf ppf "  not Datalog: rule %d uses an inequality@." xrule
+  | Has_negation { xrule; _ } ->
+    Format.fprintf ppf "  not positive: rule %d uses negation@." xrule
+  | Idb_negation { xrule; defining_rule; _ } ->
+    Format.fprintf ppf
+      "  not SP-Datalog: rule %d negates a predicate defined by rule %d@."
+      xrule defining_rule
+  | Unconnected dw ->
+    Format.fprintf ppf "  not con-Datalog^neg: rule %d splits into {%s}@."
+      dw.dw_rule
+      (String.concat "} {" (List.map (String.concat ", ") dw.components))
+  | Inset_negation { xrule; head_chain; neg_chain; _ } ->
+    Format.fprintf ppf
+      "  not semicon-Datalog^neg: rule %d negates inside the forced final \
+       stratum (head %a; negated predicate %a)@."
+      xrule pp_chain head_chain pp_chain neg_chain
+
+let pp ppf cert =
+  Format.fprintf ppf "fragment: %s (upper bound %s)@."
+    (Fragment.to_string cert.fragment)
+    (Fragment.monotonicity_upper_bound cert.fragment);
+  Format.fprintf ppf "membership evidence:@.";
+  pp_evidence ppf cert.membership;
+  if cert.exclusions <> [] then begin
+    Format.fprintf ppf "counter-witnesses:@.";
+    List.iter (pp_exclusion ppf) cert.exclusions
+  end
+
+let to_string cert = Format.asprintf "%a" pp cert

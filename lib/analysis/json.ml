@@ -1,0 +1,70 @@
+(* A deterministic JSON emitter — enough for the diagnostic and SARIF
+   renderers without an external dependency. Objects print their fields
+   in the order given, so output is byte-stable across runs. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec emit buf ~indent ~level j =
+  let pad n = String.make (n * indent) ' ' in
+  match j with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (string_of_bool b)
+  | Int k -> Buffer.add_string buf (string_of_int k)
+  | String s ->
+    Buffer.add_char buf '"';
+    Buffer.add_string buf (escape s);
+    Buffer.add_char buf '"'
+  | List [] -> Buffer.add_string buf "[]"
+  | List items ->
+    Buffer.add_string buf "[\n";
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf (pad (level + 1));
+        emit buf ~indent ~level:(level + 1) item)
+      items;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf (pad level);
+    Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj fields ->
+    Buffer.add_string buf "{\n";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf (pad (level + 1));
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape k);
+        Buffer.add_string buf "\": ";
+        emit buf ~indent ~level:(level + 1) v)
+      fields;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf (pad level);
+    Buffer.add_char buf '}'
+
+let to_string ?(indent = 2) j =
+  let buf = Buffer.create 256 in
+  emit buf ~indent ~level:0 j;
+  Buffer.contents buf

@@ -1,5 +1,40 @@
 open Relational
 
+(* Source locations. Lines and columns are 1-based; a span covers
+   [start, stop) with [stop] pointing one column past the last
+   character. *)
+module Span = struct
+  type pos = { line : int; col : int }
+
+  type t = { start : pos; stop : pos }
+
+  let dummy = { start = { line = 0; col = 0 }; stop = { line = 0; col = 0 } }
+  let is_dummy s = s.start.line = 0
+  let make ~start ~stop = { start; stop }
+
+  let union a b =
+    if is_dummy a then b
+    else if is_dummy b then a
+    else
+      let le p q = p.line < q.line || (p.line = q.line && p.col <= q.col) in
+      {
+        start = (if le a.start b.start then a.start else b.start);
+        stop = (if le a.stop b.stop then b.stop else a.stop);
+      }
+
+  let pp ppf s =
+    if is_dummy s then Format.pp_print_string ppf "<unknown>"
+    else if s.start.line = s.stop.line then
+      Format.fprintf ppf "%d:%d-%d" s.start.line s.start.col s.stop.col
+    else
+      Format.fprintf ppf "%d:%d-%d:%d" s.start.line s.start.col s.stop.line
+        s.stop.col
+
+  let to_string s = Format.asprintf "%a" pp s
+end
+
+type 'a located = { value : 'a; span : Span.t }
+
 type var = string
 
 type term =
@@ -16,6 +51,43 @@ type rule = {
 }
 
 type program = rule list
+
+(* Located counterparts, produced by the parser for tooling (the lint
+   engine and certificate renderers). [body] lists the literal spans in
+   source order; the plain [rule] view drops all spans. *)
+type located_literal =
+  | Lpos of atom located
+  | Lneg of atom located
+  | Lineq of (term * term) located
+
+type located_rule = {
+  lhead : atom located;
+  lbody : located_literal list;
+  lspan : Span.t;  (** whole rule, head through final ['.'] *)
+}
+
+type located_program = located_rule list
+
+let rule_of_located lr =
+  let pos = List.filter_map (function Lpos a -> Some a.value | _ -> None) lr.lbody in
+  let neg = List.filter_map (function Lneg a -> Some a.value | _ -> None) lr.lbody in
+  let ineq =
+    List.filter_map (function Lineq i -> Some i.value | _ -> None) lr.lbody
+  in
+  { head = lr.lhead.value; pos; neg; ineq }
+
+let strip lp = List.map rule_of_located lp
+
+(* Span of the [i]-th positive (resp. negative, inequality) literal of a
+   located rule, counting in source order; {!Span.dummy} when out of
+   range. The indices match the lists of {!rule_of_located}. *)
+let nth_span filter lr i =
+  let spans = List.filter_map filter lr.lbody in
+  match List.nth_opt spans i with Some s -> s | None -> Span.dummy
+
+let pos_span = nth_span (function Lpos a -> Some a.span | _ -> None)
+let neg_span = nth_span (function Lneg a -> Some a.span | _ -> None)
+let ineq_span = nth_span (function Lineq i -> Some i.span | _ -> None)
 
 let atom pred terms = { pred; invents = false; terms }
 let invention_atom pred terms = { pred; invents = true; terms }

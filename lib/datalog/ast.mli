@@ -8,6 +8,32 @@
 
 open Relational
 
+(** Source locations, threaded from the lexer through the parser so that
+    the static-analysis layer can report span-accurate diagnostics.
+    Lines and columns are 1-based; a span covers [[start, stop)] with
+    [stop] one column past the last character. *)
+module Span : sig
+  type pos = { line : int; col : int }
+
+  type t = { start : pos; stop : pos }
+
+  val dummy : t
+  (** The zero span, used for synthesized syntax. *)
+
+  val is_dummy : t -> bool
+  val make : start:pos -> stop:pos -> t
+
+  val union : t -> t -> t
+  (** Smallest span covering both; dummies are absorbing-neutral. *)
+
+  val pp : Format.formatter -> t -> unit
+  (** ["3:5-12"] within one line, ["3:5-4:2"] across lines. *)
+
+  val to_string : t -> string
+end
+
+type 'a located = { value : 'a; span : Span.t }
+
 type var = string
 
 type term =
@@ -30,6 +56,35 @@ type rule = {
 }
 
 type program = rule list
+
+(** Located counterparts, produced by {!Parser.parse_program_located}.
+    Rules and literals carry source spans; [lbody] preserves the source
+    order of the body literals. *)
+type located_literal =
+  | Lpos of atom located
+  | Lneg of atom located
+  | Lineq of (term * term) located
+
+type located_rule = {
+  lhead : atom located;
+  lbody : located_literal list;
+  lspan : Span.t;  (** whole rule, head through final ['.'] *)
+}
+
+type located_program = located_rule list
+
+val rule_of_located : located_rule -> rule
+(** Forget the spans; positive, negative, and inequality literals keep
+    their relative source order within each list. *)
+
+val strip : located_program -> program
+
+val pos_span : located_rule -> int -> Span.t
+val neg_span : located_rule -> int -> Span.t
+val ineq_span : located_rule -> int -> Span.t
+(** Span of the [i]-th positive / negative / inequality literal (0-based,
+    matching the lists of {!rule_of_located}); {!Span.dummy} out of
+    range. *)
 
 val atom : string -> term list -> atom
 val invention_atom : string -> term list -> atom

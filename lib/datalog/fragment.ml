@@ -32,17 +32,36 @@ let classify p =
   else if Connectivity.is_semi_connected p then Semi_connected_stratified
   else Stratified
 
-let to_string = function
-  | Positive -> "Datalog"
-  | Positive_ineq -> "Datalog(!=)"
-  | Semi_positive -> "SP-Datalog"
-  | Connected_stratified -> "con-Datalog^neg"
-  | Semi_connected_stratified -> "semicon-Datalog^neg"
-  | Stratified -> "Datalog^neg (stratified)"
-  | Unstratifiable -> "unstratifiable"
+type info = { name : string; upper_bound : string }
 
-let monotonicity_upper_bound = function
-  | Positive | Positive_ineq -> "M"
-  | Semi_positive -> "Mdistinct"
-  | Connected_stratified | Semi_connected_stratified -> "Mdisjoint"
-  | Stratified | Unstratifiable -> "C"
+(* The one table every rendering derives from. The exhaustive match makes
+   the compiler reject a new constructor until its row is added here;
+   [all] is pinned to the same width by the test suite so the two cannot
+   silently desync. *)
+let info = function
+  | Positive -> { name = "Datalog"; upper_bound = "M" }
+  | Positive_ineq -> { name = "Datalog(!=)"; upper_bound = "M" }
+  | Semi_positive -> { name = "SP-Datalog"; upper_bound = "Mdistinct" }
+  | Connected_stratified ->
+    { name = "con-Datalog^neg"; upper_bound = "Mdisjoint" }
+  | Semi_connected_stratified ->
+    { name = "semicon-Datalog^neg"; upper_bound = "Mdisjoint" }
+  | Stratified -> { name = "Datalog^neg (stratified)"; upper_bound = "C" }
+  | Unstratifiable -> { name = "unstratifiable"; upper_bound = "C" }
+
+let all =
+  [
+    Positive;
+    Positive_ineq;
+    Semi_positive;
+    Connected_stratified;
+    Semi_connected_stratified;
+    Stratified;
+    Unstratifiable;
+  ]
+
+let to_string f = (info f).name
+let monotonicity_upper_bound f = (info f).upper_bound
+
+let of_string s =
+  List.find_opt (fun f -> (info f).name = s) all

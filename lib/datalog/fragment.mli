@@ -21,7 +21,15 @@ val is_positive : Ast.program -> bool
 val is_positive_with_ineq : Ast.program -> bool
 val is_semi_positive : Ast.program -> bool
 
+val all : t list
+(** Every constructor, from most to least specific. The test suite pins
+    its length against the rendering table so a new fragment cannot be
+    added without extending both. *)
+
 val to_string : t -> string
+
+val of_string : string -> t option
+(** Inverse of {!to_string} (names are pairwise distinct, tested). *)
 
 val monotonicity_upper_bound : t -> string
 (** The monotonicity class the fragment is guaranteed to live in, per the

@@ -1,6 +1,7 @@
 open Relational
+module Span = Ast.Span
 
-exception Syntax_error of { line : int; message : string }
+exception Syntax_error of { line : int; col : int; message : string }
 
 type token =
   | Tident of string
@@ -15,7 +16,22 @@ type token =
   | Tneq
   | Tnot
 
-let fail line message = raise (Syntax_error { line; message })
+let describe_token = function
+  | Tident s -> Printf.sprintf "identifier '%s'" s
+  | Tint k -> Printf.sprintf "integer %d" k
+  | Tstring s -> Printf.sprintf "string %S" s
+  | Tstar -> "'*'"
+  | Tlparen -> "'('"
+  | Trparen -> "')'"
+  | Tcomma -> "','"
+  | Tturnstile -> "':-'"
+  | Tdot -> "'.'"
+  | Tneq -> "'!='"
+  | Tnot -> "'not'"
+
+let fail (span : Span.t) message =
+  raise
+    (Syntax_error { line = span.start.line; col = span.start.col; message })
 
 let is_ident_char c =
   (c >= 'a' && c <= 'z')
@@ -26,64 +42,73 @@ let is_ident_char c =
 let is_ident_start c =
   (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
 
+(* Tokens never span newlines (strings may not contain them), so the
+   current line/beginning-of-line indices suffice to position both span
+   ends. *)
 let tokenize src =
   let n = String.length src in
   let tokens = ref [] in
   let line = ref 1 in
-  let push t = tokens := (t, !line) :: !tokens in
+  let bol = ref 0 in
   let i = ref 0 in
+  let pos_at idx : Span.pos = { line = !line; col = idx - !bol + 1 } in
+  let fail_at idx message = fail (Span.make ~start:(pos_at idx) ~stop:(pos_at idx)) message in
   while !i < n do
     let c = src.[!i] in
+    let start = !i in
+    let push t =
+      tokens := (t, Span.make ~start:(pos_at start) ~stop:(pos_at !i)) :: !tokens
+    in
     if c = '\n' then begin
+      incr i;
       incr line;
-      incr i
+      bol := !i
     end
     else if c = ' ' || c = '\t' || c = '\r' then incr i
-    else if c = '%' then begin
+    else if c = '%' then
       while !i < n && src.[!i] <> '\n' do
         incr i
       done
-    end
-    else if c = '(' then (push Tlparen; incr i)
-    else if c = ')' then (push Trparen; incr i)
-    else if c = ',' then (push Tcomma; incr i)
-    else if c = '.' then (push Tdot; incr i)
-    else if c = '*' then (push Tstar; incr i)
+    else if c = '(' then (incr i; push Tlparen)
+    else if c = ')' then (incr i; push Trparen)
+    else if c = ',' then (incr i; push Tcomma)
+    else if c = '.' then (incr i; push Tdot)
+    else if c = '*' then (incr i; push Tstar)
     else if c = ':' && !i + 1 < n && src.[!i + 1] = '-' then begin
-      push Tturnstile;
-      i := !i + 2
+      i := !i + 2;
+      push Tturnstile
     end
     else if c = '!' && !i + 1 < n && src.[!i + 1] = '=' then begin
-      push Tneq;
-      i := !i + 2
+      i := !i + 2;
+      push Tneq
     end
     else if c = '<' && !i + 1 < n && src.[!i + 1] = '>' then begin
-      push Tneq;
-      i := !i + 2
+      i := !i + 2;
+      push Tneq
     end
     else if c = '"' then begin
       let j = ref (!i + 1) in
       let buf = Buffer.create 8 in
       while !j < n && src.[!j] <> '"' do
-        if src.[!j] = '\n' then fail !line "unterminated string literal";
+        if src.[!j] = '\n' then fail_at start "unterminated string literal";
         Buffer.add_char buf src.[!j];
         incr j
       done;
-      if !j >= n then fail !line "unterminated string literal";
-      push (Tstring (Buffer.contents buf));
-      i := !j + 1
+      if !j >= n then fail_at start "unterminated string literal";
+      i := !j + 1;
+      push (Tstring (Buffer.contents buf))
     end
     else if c = '-' || (c >= '0' && c <= '9') then begin
       let j = ref !i in
       if src.[!j] = '-' then incr j;
-      let start = !j in
+      let digits = !j in
       while !j < n && src.[!j] >= '0' && src.[!j] <= '9' do
         incr j
       done;
-      if !j = start then fail !line "expected digits after '-'";
+      if !j = digits then fail_at start "expected digits after '-'";
       let text = String.sub src !i (!j - !i) in
-      push (Tint (int_of_string text));
-      i := !j
+      i := !j;
+      push (Tint (int_of_string text))
     end
     else if is_ident_start c then begin
       let j = ref !i in
@@ -91,55 +116,72 @@ let tokenize src =
         incr j
       done;
       let text = String.sub src !i (!j - !i) in
-      if text = "not" then push Tnot else push (Tident text);
-      i := !j
+      i := !j;
+      if text = "not" then push Tnot else push (Tident text)
     end
-    else fail !line (Printf.sprintf "unexpected character %C" c)
+    else fail_at start (Printf.sprintf "unexpected character %C" c)
   done;
   List.rev !tokens
 
-(* Recursive-descent over the token list. *)
-type state = { mutable toks : (token * int) list }
+(* Recursive-descent over the token list. [last] remembers the most
+   recently consumed token's span so end-of-input errors still point
+   somewhere useful. *)
+type state = {
+  mutable toks : (token * Span.t) list;
+  mutable last : Span.t;
+}
 
 let peek st = match st.toks with [] -> None | (t, _) :: _ -> Some t
-let line_of st = match st.toks with [] -> 0 | (_, l) :: _ -> l
+let span_of st = match st.toks with [] -> st.last | (_, sp) :: _ -> sp
+
+let describe_peek st =
+  match peek st with Some t -> describe_token t | None -> "end of input"
 
 let next st =
   match st.toks with
-  | [] -> fail 0 "unexpected end of input"
-  | (t, l) :: rest ->
+  | [] -> fail st.last "unexpected end of input"
+  | (t, sp) :: rest ->
     st.toks <- rest;
-    (t, l)
+    st.last <- sp;
+    (t, sp)
 
 let expect st want describe =
-  let t, l = next st in
-  if t <> want then fail l ("expected " ^ describe)
+  let t, sp = next st in
+  if t <> want then
+    fail sp
+      (Printf.sprintf "expected %s but found %s" describe (describe_token t));
+  sp
 
-let parse_term st =
+let parse_term st : Ast.term Ast.located =
   match next st with
-  | Tident v, _ -> Ast.Var v
-  | Tint k, _ -> Ast.Const (Value.Int k)
-  | Tstring s, _ -> Ast.Const (Value.Sym s)
-  | _, l -> fail l "expected a term (variable, integer, or string)"
+  | Tident v, sp -> { value = Ast.Var v; span = sp }
+  | Tint k, sp -> { value = Ast.Const (Value.Int k); span = sp }
+  | Tstring s, sp -> { value = Ast.Const (Value.Sym s); span = sp }
+  | t, sp ->
+    fail sp
+      ("expected a term (variable, integer, or string) but found "
+      ^ describe_token t)
 
-let parse_atom st ~head =
-  let name, l =
+(* '*' is accepted in the first argument position of any atom; the
+   restriction to heads is a well-formedness condition (Ast.check_rule),
+   reported by the checked parse and by the lint engine with a span. *)
+let parse_atom st : Ast.atom Ast.located =
+  let name, name_span =
     match next st with
-    | Tident name, l -> (name, l)
-    | _, l -> fail l "expected a predicate name"
+    | Tident name, sp -> (name, sp)
+    | t, sp -> fail sp ("expected a predicate name but found " ^ describe_token t)
   in
-  expect st Tlparen "'(' after predicate name";
+  ignore (expect st Tlparen "'(' after predicate name");
   let invents = ref false in
   let terms = ref [] in
   let parse_slot ~first =
     match peek st with
     | Some Tstar ->
-      ignore (next st);
-      if not (head && first) then
-        fail (line_of st)
-          "'*' (invention) is only allowed as the first head argument";
+      let _, sp = next st in
+      if not first then
+        fail sp "'*' (invention) is only allowed in the first argument position";
       invents := true
-    | _ -> terms := parse_term st :: !terms
+    | _ -> terms := (parse_term st).value :: !terms
   in
   parse_slot ~first:true;
   let rec loop () =
@@ -148,49 +190,47 @@ let parse_atom st ~head =
       ignore (next st);
       parse_slot ~first:false;
       loop ()
-    | Some Trparen -> ignore (next st)
-    | _ -> fail (line_of st) "expected ',' or ')' in atom"
+    | Some Trparen -> snd (next st)
+    | _ ->
+      fail (span_of st)
+        ("expected ',' or ')' in atom but found " ^ describe_peek st)
   in
-  loop ();
+  let rparen_span = loop () in
   if !terms = [] && not !invents then
-    fail l ("predicate " ^ name ^ " applied to no arguments");
+    fail name_span ("predicate " ^ name ^ " applied to no arguments");
   let terms = List.rev !terms in
-  if !invents then Ast.invention_atom name terms else Ast.atom name terms
+  let atom =
+    if !invents then Ast.invention_atom name terms else Ast.atom name terms
+  in
+  { value = atom; span = Span.union name_span rparen_span }
 
-let parse_literal st =
+let parse_literal st : Ast.located_literal =
+  let ineq () =
+    let a = parse_term st in
+    ignore (expect st Tneq "'!=' in inequality");
+    let b = parse_term st in
+    Ast.Lineq { value = (a.value, b.value); span = Span.union a.span b.span }
+  in
   match peek st with
   | Some Tnot ->
-    ignore (next st);
-    `Neg (parse_atom st ~head:false)
+    let _, not_span = next st in
+    let a = parse_atom st in
+    Ast.Lneg { a with span = Span.union not_span a.span }
   | Some (Tident _) -> begin
     (* Could be an atom (ident followed by '(') or a variable in an
        inequality. Look ahead one token. *)
     match st.toks with
-    | (Tident _, _) :: (Tlparen, _) :: _ -> `Pos (parse_atom st ~head:false)
-    | _ ->
-      let a = parse_term st in
-      expect st Tneq "'!=' in inequality";
-      let b = parse_term st in
-      `Ineq (a, b)
+    | (Tident _, _) :: (Tlparen, _) :: _ -> Ast.Lpos (parse_atom st)
+    | _ -> ineq ()
   end
-  | Some (Tint _ | Tstring _) ->
-    let a = parse_term st in
-    expect st Tneq "'!=' in inequality";
-    let b = parse_term st in
-    `Ineq (a, b)
-  | _ -> fail (line_of st) "expected a body literal"
+  | Some (Tint _ | Tstring _) -> ineq ()
+  | _ -> fail (span_of st) ("expected a body literal but found " ^ describe_peek st)
 
-let parse_one_rule st =
-  let l0 = line_of st in
-  let head = parse_atom st ~head:true in
-  expect st Tturnstile "':-' after rule head";
-  let pos = ref [] and neg = ref [] and ineq = ref [] in
-  let add () =
-    match parse_literal st with
-    | `Pos a -> pos := a :: !pos
-    | `Neg a -> neg := a :: !neg
-    | `Ineq (a, b) -> ineq := (a, b) :: !ineq
-  in
+let parse_one_rule st : Ast.located_rule =
+  let head = parse_atom st in
+  ignore (expect st Tturnstile "':-' after rule head");
+  let body = ref [] in
+  let add () = body := parse_literal st :: !body in
   add ();
   let rec loop () =
     match peek st with
@@ -198,34 +238,48 @@ let parse_one_rule st =
       ignore (next st);
       add ();
       loop ()
-    | Some Tdot -> ignore (next st)
-    | _ -> fail (line_of st) "expected ',' or '.' after a body literal"
+    | Some Tdot -> snd (next st)
+    | _ ->
+      fail (span_of st)
+        ("expected ',' or '.' after a body literal but found " ^ describe_peek st)
   in
-  loop ();
-  let r =
-    {
-      Ast.head;
-      pos = List.rev !pos;
-      neg = List.rev !neg;
-      ineq = List.rev !ineq;
-    }
-  in
-  match Ast.check_rule r with
-  | Ok () -> r
-  | Error msg -> fail l0 msg
+  let dot_span = loop () in
+  { lhead = head; lbody = List.rev !body; lspan = Span.union head.span dot_span }
 
-let parse_program src =
-  let st = { toks = tokenize src } in
+let parse_program_located src =
+  let st = { toks = tokenize src; last = Span.dummy } in
   let rules = ref [] in
   while peek st <> None do
     rules := parse_one_rule st :: !rules
   done;
-  let p = List.rev !rules in
+  List.rev !rules
+
+let parse_program src =
+  let lp = parse_program_located src in
+  let p =
+    List.map
+      (fun (lr : Ast.located_rule) ->
+        let r = Ast.rule_of_located lr in
+        match Ast.check_rule r with
+        | Ok () -> r
+        | Error msg -> fail lr.lspan msg)
+      lp
+  in
   (* Trigger arity consistency checking. *)
-  (try ignore (Ast.schema_of p) with Invalid_argument msg -> fail 0 msg);
+  (try ignore (Ast.schema_of p)
+   with Invalid_argument msg ->
+     raise (Syntax_error { line = 0; col = 0; message = msg }));
   p
 
 let parse_rule src =
   match parse_program src with
   | [ r ] -> r
-  | l -> fail 1 (Printf.sprintf "expected exactly one rule, got %d" (List.length l))
+  | l ->
+    raise
+      (Syntax_error
+         {
+           line = 1;
+           col = 1;
+           message =
+             Printf.sprintf "expected exactly one rule, got %d" (List.length l);
+         })

@@ -16,11 +16,20 @@
     identifiers in term position are variables. String and integer literals
     are constants. *)
 
-exception Syntax_error of { line : int; message : string }
+exception Syntax_error of { line : int; col : int; message : string }
+(** Lexical and grammatical errors carry the 1-based line and column of
+    the offending token, and the message names the token found
+    ([line = 0] for whole-program errors such as arity conflicts). *)
 
 val parse_program : string -> Ast.program
-(** @raise Syntax_error on lexical or grammatical errors, and on rules that
-    fail {!Ast.check_rule}. *)
+(** @raise Syntax_error on lexical or grammatical errors, on rules that
+    fail {!Ast.check_rule}, and on arity conflicts. *)
+
+val parse_program_located : string -> Ast.located_program
+(** Like {!parse_program} but keeps source spans and skips the
+    well-formedness checks ({!Ast.check_rule}, arity consistency) so
+    that ill-formed programs can still be linted with precise
+    locations. Only lexical/grammatical errors raise. *)
 
 val parse_rule : string -> Ast.rule
 (** Parses exactly one rule. *)

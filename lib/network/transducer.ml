@@ -31,9 +31,10 @@ let datalog_component ~prefix ~target src =
   | Some src ->
     let rules =
       try Datalog.Adom.augment (Datalog.Parser.parse_program src)
-      with Datalog.Parser.Syntax_error { line; message } ->
+      with Datalog.Parser.Syntax_error { line; col; message } ->
         invalid_arg
-          (Printf.sprintf "Transducer.of_datalog: line %d: %s" line message)
+          (Printf.sprintf "Transducer.of_datalog: line %d, column %d: %s" line
+             col message)
     in
     (match Datalog.Stratify.stratify rules with
     | Ok _ -> ()
