@@ -6,7 +6,9 @@
    Run with: dune exec bench/main.exe
    Pass --quick to shrink the slowest experiments, and --jobs N to size
    the Domain pool of the E23 parallel-speedup section (default: all
-   cores). *)
+   cores). Pass --json FILE to additionally write a calm-bench/v1
+   trajectory document: per experiment, its wall-clock and its stable
+   telemetry counters (see lib/observe). *)
 
 open Relational
 open Monotone
@@ -25,6 +27,80 @@ let jobs =
     else find (i + 1)
   in
   find 1
+
+let json_out =
+  let rec find i =
+    if i >= Array.length Sys.argv then None
+    else if Sys.argv.(i) = "--json" && i + 1 < Array.length Sys.argv then
+      Some Sys.argv.(i + 1)
+    else find (i + 1)
+  in
+  find 1
+
+(* --json trajectory: per experiment, wall-clock plus the stable metric
+   rows the run recorded into the root collector (reset per experiment,
+   so each entry is self-contained). *)
+let recorded : (string * float * Observe.Metrics.row list) list ref = ref []
+
+let experiment id f =
+  Observe.Metrics.reset Observe.Metrics.root;
+  let t0 = Unix.gettimeofday () in
+  f ();
+  let wall = Unix.gettimeofday () -. t0 in
+  recorded :=
+    (id, wall, Observe.Metrics.snapshot ~stable_only:true Observe.Metrics.root)
+    :: !recorded;
+  print_newline ()
+
+let metrics_json rows =
+  let open Observe in
+  Json.Obj
+    (List.map
+       (fun (r : Metrics.row) ->
+         let key =
+           match r.labels with
+           | [] -> r.name
+           | ls ->
+             r.name ^ "{"
+             ^ String.concat ","
+                 (List.map (fun (k, v) -> k ^ "=" ^ v) ls)
+             ^ "}"
+         in
+         let value =
+           match r.kind with
+           | Metrics.Counter -> Json.Int r.count
+           | Metrics.Gauge -> Json.Float r.last
+           | Metrics.Histogram | Metrics.Timing -> Json.Float r.sum
+         in
+         (key, value))
+       rows)
+
+let emit_json file =
+  let open Observe in
+  let experiments = List.rev !recorded in
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.String "calm-bench/v1");
+        ("quick", Json.Bool quick);
+        ("jobs", Json.Int jobs);
+        ( "experiments",
+          Json.List
+            (List.map
+               (fun (id, wall, rows) ->
+                 Json.Obj
+                   [
+                     ("id", Json.String id);
+                     ("wall_s", Json.Float wall);
+                     ("metrics", metrics_json rows);
+                   ])
+               experiments) );
+      ]
+  in
+  let oc = open_out file in
+  output_string oc (Json.to_string_pretty doc ^ "\n");
+  close_out oc;
+  Printf.printf "wrote %s\n" file
 
 let violated = Checker.is_violation
 
@@ -1136,45 +1212,26 @@ let () =
     (if quick then " (--quick)" else "");
   print_string (Figure2.render ());
   print_newline ();
-  e1_fig1_hierarchy ();
-  print_newline ();
-  e2_bounded_collapse ();
-  print_newline ();
-  e3_clique_ladder ();
-  print_newline ();
-  e4_star_ladder ();
-  print_newline ();
-  e5_duplicate ();
-  print_newline ();
-  e21_bounded_ladders ();
-  print_newline ();
-  e6_lemma32 ();
-  print_newline ();
-  e7_policy_aware ();
-  print_newline ();
-  e8_domain_guided ();
-  print_newline ();
-  e9_all_free ();
-  print_newline ();
-  e10_strictness ();
-  print_newline ();
-  e22_matrix ();
-  print_newline ();
-  e11_components ();
-  print_newline ();
-  e12_semicon ();
-  print_newline ();
-  e13_winmove_doubled ();
-  print_newline ();
-  e16_wilog ();
-  print_newline ();
-  e14_costs ();
-  print_newline ();
-  e17_delta_ablation ();
-  print_newline ();
-  e19_model_checking ();
-  print_newline ();
-  e23_parallel_speedup ();
-  print_newline ();
-  bechamel_section ();
+  experiment "E1" e1_fig1_hierarchy;
+  experiment "E2" e2_bounded_collapse;
+  experiment "E3" e3_clique_ladder;
+  experiment "E4" e4_star_ladder;
+  experiment "E5" e5_duplicate;
+  experiment "E21" e21_bounded_ladders;
+  experiment "E6" e6_lemma32;
+  experiment "E7" e7_policy_aware;
+  experiment "E8" e8_domain_guided;
+  experiment "E9" e9_all_free;
+  experiment "E10" e10_strictness;
+  experiment "E22" e22_matrix;
+  experiment "E11" e11_components;
+  experiment "E12" e12_semicon;
+  experiment "E13" e13_winmove_doubled;
+  experiment "E16" e16_wilog;
+  experiment "E14" e14_costs;
+  experiment "E17" e17_delta_ablation;
+  experiment "E19" e19_model_checking;
+  experiment "E23" e23_parallel_speedup;
+  experiment "bechamel" bechamel_section;
+  (match json_out with Some file -> emit_json file | None -> ());
   print_endline "\nall experiment tables printed."

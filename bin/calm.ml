@@ -6,6 +6,11 @@
      calm check     monotonicity-class membership with explicit bounds
      calm simulate  compile to a coordination-free transducer and run it
                     on a simulated asynchronous network
+     calm run       one instrumented network run (--metrics-out,
+                    --trace-out, --profile)
+     calm sweep     the policy × scheduler grid, optionally parallel
+     calm netquery  "the network computes the query" verdict
+     calm validate  schema-check emitted telemetry artifacts
 
    Programs use the conventional syntax (see lib/datalog/parser.mli);
    facts are given as 'E(1,2). E(2,3)'. *)
@@ -134,6 +139,94 @@ let load_program_any ~outputs src =
     exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Observability plumbing: --metrics-out / --trace-out / --profile.
+
+   The wrapper resets the root collector, enables the default event sink
+   when a trace is requested, runs the command body, and then writes the
+   requested artifacts. Stable metrics are jobs-independent (see
+   lib/observe/metrics.mli); --redact-timings makes --profile output
+   reproducible too. *)
+
+type obs = {
+  metrics_out : string option;
+  trace_out : string option;
+  profile : bool;
+  redact_timings : bool;
+}
+
+let obs_term =
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a calm-metrics/v1 JSON snapshot of the run's metrics to \
+             $(docv). Stable metrics are independent of $(b,--jobs).")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Record structured events and write them to $(docv): Chrome \
+             trace_event JSON (open in Perfetto or chrome://tracing; pool \
+             workers appear as separate tracks), or JSONL when $(docv) \
+             ends in $(b,.jsonl).")
+  in
+  let profile =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:"Print a human-readable metrics profile to stdout at exit.")
+  in
+  let redact_timings =
+    Arg.(
+      value & flag
+      & info [ "redact-timings" ]
+          ~doc:
+            "In $(b,--profile) output, replace schedule-dependent numbers \
+             (durations, per-worker tallies) with '-' so the profile is \
+             byte-reproducible.")
+  in
+  let mk metrics_out trace_out profile redact_timings =
+    { metrics_out; trace_out; profile; redact_timings }
+  in
+  Term.(const mk $ metrics_out $ trace_out $ profile $ redact_timings)
+
+let write_file f s =
+  let oc = open_out f in
+  output_string oc s;
+  close_out oc
+
+let with_observability obs f =
+  Observe.Metrics.reset Observe.Metrics.root;
+  if obs.trace_out <> None then Observe.Sink.enable Observe.Sink.default;
+  let finish () =
+    (match obs.metrics_out with
+    | None -> ()
+    | Some file ->
+      write_file file
+        (Observe.Json.to_string_pretty
+           (Observe.Metrics.to_json Observe.Metrics.root)
+        ^ "\n"));
+    (match obs.trace_out with
+    | None -> ()
+    | Some file ->
+      let events = Observe.Sink.events Observe.Sink.default in
+      Observe.Sink.disable Observe.Sink.default;
+      if Filename.check_suffix file ".jsonl" then
+        write_file file (Observe.Sink.to_jsonl events)
+      else write_file file (Observe.Sink.to_chrome events));
+    if obs.profile then
+      Format.printf "%a@?"
+        (Observe.Metrics.pp_profile ~redact_timings:obs.redact_timings)
+        Observe.Metrics.root
+  in
+  Fun.protect ~finally:finish f
+
+(* ------------------------------------------------------------------ *)
 (* calm eval *)
 
 let eval_cmd =
@@ -240,12 +333,35 @@ let check_cmd =
       $ jobs_term)
 
 (* ------------------------------------------------------------------ *)
+(* Shared network-command plumbing *)
+
+let compile_or_exit program =
+  try Calm_core.Compile.compile_program program
+  with Invalid_argument msg ->
+    Printf.eprintf "cannot compile: %s\n" msg;
+    exit 1
+
+let default_policy_for compiled network =
+  let schema = compiled.Calm_core.Compile.query.Query.input in
+  if compiled.Calm_core.Compile.domain_guided_only then
+    Network.Policy.hash_value schema network
+  else Network.Policy.hash_fact schema network
+
+let make_network nodes =
+  Distributed.network_of_ints (List.init (max nodes 1) (fun i -> 1 + i))
+
+let nodes_term =
+  Arg.(value & opt int 3 & info [ "nodes"; "n" ] ~doc:"Network size.")
+
+let scheduler_of nodes seed = function
+  | `Rr -> Network.Run.Round_robin
+  | `Rand -> Network.Run.Random { seed; steps = 50 * nodes }
+  | `Stingy -> Network.Run.Stingy { seed; steps = 80 * nodes }
+
+(* ------------------------------------------------------------------ *)
 (* calm simulate *)
 
 let simulate_cmd =
-  let nodes_term =
-    Arg.(value & opt int 3 & info [ "nodes"; "n" ] ~doc:"Network size.")
-  in
   let scheduler_term =
     Arg.(
       value
@@ -261,30 +377,13 @@ let simulate_cmd =
   let run src outputs facts facts_file nodes scheduler seed =
     let program = load_program_any ~outputs src in
     let input = resolve_input (Datalog.Program.input_schema program) facts facts_file in
-    let compiled =
-      try Calm_core.Compile.compile_program program
-      with Invalid_argument msg ->
-        Printf.eprintf "cannot compile: %s\n" msg;
-        exit 1
-    in
+    let compiled = compile_or_exit program in
     Printf.printf "compiled at level %s (%s strategy)\n"
       (Calm_core.Hierarchy.to_string compiled.Calm_core.Compile.level)
       (Calm_core.Hierarchy.transducer_model compiled.Calm_core.Compile.level);
-    let network =
-      Distributed.network_of_ints (List.init (max nodes 1) (fun i -> 1 + i))
-    in
-    let schema = compiled.Calm_core.Compile.query.Query.input in
-    let policy =
-      if compiled.Calm_core.Compile.domain_guided_only then
-        Network.Policy.hash_value schema network
-      else Network.Policy.hash_fact schema network
-    in
-    let sched =
-      match scheduler with
-      | `Rr -> Network.Run.Round_robin
-      | `Rand -> Network.Run.Random { seed; steps = 50 * nodes }
-      | `Stingy -> Network.Run.Stingy { seed; steps = 80 * nodes }
-    in
+    let network = make_network nodes in
+    let policy = default_policy_for compiled network in
+    let sched = scheduler_of nodes seed scheduler in
     let result =
       Network.Run.run ~variant:compiled.Calm_core.Compile.variant ~policy
         ~transducer:compiled.Calm_core.Compile.transducer ~input sched
@@ -316,6 +415,208 @@ let simulate_cmd =
     Term.(
       const run $ program_src_term $ outputs_term $ facts_term
       $ facts_file_term $ nodes_term $ scheduler_term $ seed_term)
+
+(* ------------------------------------------------------------------ *)
+(* calm run *)
+
+let run_cmd =
+  let scheduler_term =
+    Arg.(
+      value
+      & opt
+          (enum [ ("round-robin", `Rr); ("random", `Rand); ("stingy", `Stingy) ])
+          `Rr
+      & info [ "scheduler"; "s" ] ~docv:"SCHED"
+          ~doc:"round-robin, random, or stingy.")
+  in
+  let seed_term =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Scheduler seed.")
+  in
+  let run src outputs facts facts_file nodes scheduler seed obs =
+    with_observability obs @@ fun () ->
+    let program = load_program_any ~outputs src in
+    let input =
+      resolve_input (Datalog.Program.input_schema program) facts facts_file
+    in
+    let compiled = compile_or_exit program in
+    let network = make_network nodes in
+    let policy = default_policy_for compiled network in
+    let sched = scheduler_of nodes seed scheduler in
+    let result =
+      Network.Run.run ~variant:compiled.Calm_core.Compile.variant ~policy
+        ~transducer:compiled.Calm_core.Compile.transducer ~input sched
+    in
+    Printf.printf
+      "policy=%s quiesced=%b rounds=%d transitions=%d messages=%d \
+       deliveries=%d\n"
+      (Network.Policy.name policy) result.Network.Run.quiesced
+      result.Network.Run.rounds result.Network.Run.transitions
+      result.Network.Run.messages_sent result.Network.Run.deliveries;
+    Printf.printf "output (%d facts): %s\n"
+      (Instance.cardinal result.Network.Run.outputs)
+      (Instance.to_string result.Network.Run.outputs)
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "compile a program and run it once on a simulated network \
+          (instrumented; see --metrics-out / --trace-out / --profile)")
+    Term.(
+      const run $ program_src_term $ outputs_term $ facts_term
+      $ facts_file_term $ nodes_term $ scheduler_term $ seed_term $ obs_term)
+
+(* ------------------------------------------------------------------ *)
+(* calm sweep *)
+
+let sweep_cmd =
+  let run src outputs facts facts_file nodes jobs obs =
+    with_observability obs @@ fun () ->
+    let program = load_program_any ~outputs src in
+    let input =
+      resolve_input (Datalog.Program.input_schema program) facts facts_file
+    in
+    let compiled = compile_or_exit program in
+    let network = make_network nodes in
+    let schema = compiled.Calm_core.Compile.query.Query.input in
+    let policies =
+      Network.Netquery.default_policies
+        ~domain_guided_only:compiled.Calm_core.Compile.domain_guided_only
+        schema network
+    in
+    let cells =
+      List.concat_map
+        (fun policy ->
+          List.map
+            (fun (sname, sched) ->
+              (Network.Policy.name policy ^ "/" ^ sname, policy, sched))
+            Network.Netquery.default_schedulers)
+        policies
+    in
+    let results =
+      Network.Run.sweep ~jobs ~variant:compiled.Calm_core.Compile.variant
+        ~transducer:compiled.Calm_core.Compile.transducer ~input cells
+    in
+    List.iter
+      (fun (label, r, events) ->
+        Printf.printf
+          "%-28s quiesced=%b rounds=%d transitions=%d messages=%d \
+           outputs=%d events=%d\n"
+          label r.Network.Run.quiesced r.Network.Run.rounds
+          r.Network.Run.transitions r.Network.Run.messages_sent
+          (Instance.cardinal r.Network.Run.outputs)
+          (List.length events))
+      results
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "run the full policy × scheduler grid for a program, optionally \
+          in parallel; stable metrics are identical under any --jobs")
+    Term.(
+      const run $ program_src_term $ outputs_term $ facts_term
+      $ facts_file_term $ nodes_term $ jobs_term $ obs_term)
+
+(* ------------------------------------------------------------------ *)
+(* calm netquery *)
+
+let netquery_cmd =
+  let run src outputs facts facts_file nodes jobs obs =
+    with_observability obs @@ fun () ->
+    let program = load_program_any ~outputs src in
+    let input =
+      resolve_input (Datalog.Program.input_schema program) facts facts_file
+    in
+    let compiled = compile_or_exit program in
+    let network = make_network nodes in
+    let schema = compiled.Calm_core.Compile.query.Query.input in
+    let policies =
+      Network.Netquery.default_policies
+        ~domain_guided_only:compiled.Calm_core.Compile.domain_guided_only
+        schema network
+    in
+    let verdict =
+      Network.Netquery.check ~policies ~jobs
+        ~variant:compiled.Calm_core.Compile.variant
+        ~transducer:compiled.Calm_core.Compile.transducer
+        ~query:compiled.Calm_core.Compile.query ~input network
+    in
+    Printf.printf "expected (%d facts): %s\n"
+      (Instance.cardinal verdict.Network.Netquery.expected)
+      (Instance.to_string verdict.Network.Netquery.expected);
+    Printf.printf "runs: %d  all quiesced: %b  mismatches: %d\n"
+      (List.length verdict.Network.Netquery.runs)
+      verdict.Network.Netquery.all_quiesced
+      (List.length verdict.Network.Netquery.mismatches);
+    List.iter
+      (fun label -> Printf.printf "  mismatch: %s\n" label)
+      verdict.Network.Netquery.mismatches;
+    if Network.Netquery.consistent verdict then
+      print_endline "verdict: the network computes the query on this input"
+    else begin
+      print_endline "verdict: INCONSISTENT";
+      exit 2
+    end
+  in
+  Cmd.v
+    (Cmd.info "netquery"
+       ~doc:
+         "check that the compiled network computes the query under every \
+          default policy × scheduler combination")
+    Term.(
+      const run $ program_src_term $ outputs_term $ facts_term
+      $ facts_file_term $ nodes_term $ jobs_term $ obs_term)
+
+(* ------------------------------------------------------------------ *)
+(* calm validate *)
+
+let validate_cmd =
+  let kind_term =
+    Arg.(
+      required
+      & opt
+          (some (enum [ ("metrics", `Metrics); ("bench", `Bench); ("trace", `Trace) ]))
+          None
+      & info [ "kind" ] ~docv:"KIND"
+          ~doc:"Artifact kind: metrics, bench, or trace.")
+  in
+  let file_term =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"The JSON artifact to validate.")
+  in
+  let run kind file =
+    let contents = read_file file in
+    let result =
+      match kind with
+      | `Trace when Filename.check_suffix file ".jsonl" ->
+        Result.map (fun _ -> ()) (Observe.Sink.of_jsonl contents)
+      | _ -> (
+        match Observe.Json.of_string contents with
+        | Error m -> Error ("not valid JSON: " ^ m)
+        | Ok j -> (
+          match kind with
+          | `Metrics -> Observe.Schema_check.validate_metrics j
+          | `Bench -> Observe.Schema_check.validate_bench j
+          | `Trace -> Observe.Schema_check.validate_trace j))
+    in
+    match result with
+    | Ok () ->
+      Printf.printf "%s: valid %s artifact\n" file
+        (match kind with
+        | `Metrics -> "calm-metrics/v1"
+        | `Bench -> "calm-bench/v1"
+        | `Trace -> "trace")
+    | Error m ->
+      Printf.eprintf "%s: INVALID: %s\n" file m;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:
+         "validate a telemetry artifact (--metrics-out snapshot, bench \
+          --json trajectory, or --trace-out trace) against its schema")
+    Term.(const run $ kind_term $ file_term)
 
 (* ------------------------------------------------------------------ *)
 (* calm graph *)
@@ -518,6 +819,7 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            eval_cmd; classify_cmd; check_cmd; simulate_cmd; explore_cmd;
-            graph_cmd; figure2_cmd; lint_cmd; certify_cmd;
+            eval_cmd; classify_cmd; check_cmd; simulate_cmd; run_cmd;
+            sweep_cmd; netquery_cmd; explore_cmd; validate_cmd; graph_cmd;
+            figure2_cmd; lint_cmd; certify_cmd;
           ]))

@@ -9,6 +9,16 @@ module Smap = Map.Make (String)
 
 let default_neg j f = not (Instance.mem f j)
 
+(* Telemetry (all stable): where the evaluator's work goes. Join probes
+   are counted locally per rule activation and committed in one
+   increment, so the hot nested-loop join pays one registry hit per rule
+   rather than one per candidate fact. *)
+let m_join_probes = Observe.Metrics.counter "eval.join_probes"
+let m_derived = Observe.Metrics.counter "eval.derived_facts"
+let m_rounds = Observe.Metrics.counter "eval.seminaive_rounds"
+let m_delta = Observe.Metrics.histogram "eval.delta_size"
+let m_fixpoint = Observe.Metrics.timing "eval.fixpoint"
+
 (* Predicate-indexed view of an instance, built once per fixpoint round so
    atom matching does not rescan the whole fact set. *)
 let index i =
@@ -92,17 +102,19 @@ let optimize p = List.map reorder_body p
 
 (* Enumerate environments extending [env] satisfying the positive atoms;
    atom number [idx] (if given) matches against [delta_idxed] instead of
-   the full index. *)
-let rec satisfy_pos db_idx delta_idx which i atoms env k =
+   the full index. [probes] tallies candidate-fact match attempts. *)
+let rec satisfy_pos probes db_idx delta_idx which i atoms env k =
   match atoms with
   | [] -> k env
   | (a : Ast.atom) :: rest ->
     let source = if Some i = which then delta_idx else db_idx in
     List.iter
       (fun f ->
+        incr probes;
         match match_atom env a f with
         | None -> ()
-        | Some env' -> satisfy_pos db_idx delta_idx which (i + 1) rest env' k)
+        | Some env' ->
+          satisfy_pos probes db_idx delta_idx which (i + 1) rest env' k)
       (lookup source a.pred)
 
 let checks_pass current neg env (r : Ast.rule) =
@@ -113,18 +125,24 @@ let checks_pass current neg env (r : Ast.rule) =
 
 let derive_rule ~neg ~current ~db_idx ~delta_idx ~which (r : Ast.rule) acc =
   let out = ref acc in
-  satisfy_pos db_idx delta_idx which 0 r.pos Env.empty (fun env ->
+  let probes = ref 0 in
+  satisfy_pos probes db_idx delta_idx which 0 r.pos Env.empty (fun env ->
       if checks_pass current neg env r then
         out := Instance.add (ground_atom env r.head) !out);
+  if !probes > 0 then Observe.Metrics.incr ~by:!probes m_join_probes;
   !out
 
 let derive ?(neg = default_neg) p j =
   let idx = index j in
-  List.fold_left
-    (fun acc r ->
-      derive_rule ~neg ~current:j ~db_idx:idx ~delta_idx:Smap.empty ~which:None
-        r acc)
-    Instance.empty p
+  let out =
+    List.fold_left
+      (fun acc r ->
+        derive_rule ~neg ~current:j ~db_idx:idx ~delta_idx:Smap.empty
+          ~which:None r acc)
+      Instance.empty p
+  in
+  Observe.Metrics.incr ~by:(Instance.cardinal out) m_derived;
+  out
 
 let immediate_consequence ?neg p j = Instance.union j (derive ?neg p j)
 
@@ -160,16 +178,21 @@ let seminaive ?(neg = default_neg) ?max_facts p i =
         over_idx 0 acc)
       Instance.empty p
   in
-  let first = derive ~neg p i in
-  let rec go db delta =
-    guard max_facts db;
-    if Instance.is_empty delta then db
-    else
-      let db' = Instance.union db delta in
-      let fresh = Instance.diff (step db' delta) db' in
-      go db' fresh
-  in
-  go i (Instance.diff first i)
+  Observe.Metrics.time m_fixpoint (fun () ->
+      let first = derive ~neg p i in
+      let rec go db delta =
+        guard max_facts db;
+        if Instance.is_empty delta then db
+        else begin
+          Observe.Metrics.incr m_rounds;
+          Observe.Metrics.observe m_delta
+            (float_of_int (Instance.cardinal delta));
+          let db' = Instance.union db delta in
+          let fresh = Instance.diff (step db' delta) db' in
+          go db' fresh
+        end
+      in
+      go i (Instance.diff first i))
 
 let stratified ?max_facts p i =
   match Stratify.stratify p with

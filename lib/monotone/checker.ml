@@ -15,29 +15,56 @@ type bounds = {
 
 let default_bounds = { dom_size = 3; fresh = 2; max_base = 4; max_ext = 2 }
 
+(* Telemetry. [monotone.probes] is incremented inside the probe, so on
+   the parallel path it is committed through the pool's per-task buffers:
+   only probes at indices up to the winning counterexample count, making
+   the value identical to the sequential scan's. The remaining stable
+   rows are derived from the (deterministic) outcome; wall-clock goes to
+   the volatile [monotone.scan] timing. *)
+let m_probes = Observe.Metrics.counter "monotone.probes"
+let m_pairs = Observe.Metrics.counter "monotone.pairs_scanned"
+let m_violations = Observe.Metrics.counter "monotone.violations"
+let m_cert_size = Observe.Metrics.histogram "monotone.counterexample_size"
+let m_scan = Observe.Metrics.timing "monotone.scan"
+
 (* Scan the (base, extension) stream for a violation. With [jobs > 1]
    the probes fan out across a Domain pool; the search is cancelled as
    soon as any worker finds a violation, but the reported violation is
    always the first one in enumeration order, so certificates (and their
    shrunken forms) are reproducible independently of [jobs]. *)
 let scan ?jobs kind q pairs =
-  let probe (base, extension) = Classes.check_pair kind q ~base ~extension in
-  match jobs with
-  | Some j when j > 1 ->
-    Parallel.Pool.with_pool ~jobs:j (fun pool ->
-        match Parallel.Pool.search pool probe pairs with
-        | Parallel.Pool.Found v -> Violated v
-        | Parallel.Pool.Exhausted pairs -> No_violation { pairs })
-  | _ ->
-    let count = ref 0 in
-    let rec go s =
-      match s () with
-      | Seq.Nil -> No_violation { pairs = !count }
-      | Seq.Cons (pair, rest) -> (
-        incr count;
-        match probe pair with Some v -> Violated v | None -> go rest)
-    in
-    go pairs
+  let probe (base, extension) =
+    Observe.Metrics.incr m_probes;
+    Classes.check_pair kind q ~base ~extension
+  in
+  let outcome =
+    Observe.Metrics.time m_scan (fun () ->
+        match jobs with
+        | Some j when j > 1 ->
+          Parallel.Pool.with_pool ~jobs:j (fun pool ->
+              match Parallel.Pool.search pool probe pairs with
+              | Parallel.Pool.Found v -> Violated v
+              | Parallel.Pool.Exhausted pairs -> No_violation { pairs })
+        | _ ->
+          let count = ref 0 in
+          let rec go s =
+            match s () with
+            | Seq.Nil -> No_violation { pairs = !count }
+            | Seq.Cons (pair, rest) -> (
+              incr count;
+              match probe pair with Some v -> Violated v | None -> go rest)
+          in
+          go pairs)
+  in
+  (match outcome with
+  | No_violation { pairs } -> Observe.Metrics.incr ~by:pairs m_pairs
+  | Violated v ->
+    Observe.Metrics.incr m_violations;
+    Observe.Metrics.observe m_cert_size
+      (float_of_int
+         (Instance.cardinal v.Classes.base
+         + Instance.cardinal v.Classes.extension)));
+  outcome
 
 let check_exhaustive ?(bounds = default_bounds) ?schema ?jobs kind q =
   let schema = Option.value schema ~default:q.Query.input in
@@ -128,10 +155,16 @@ let check_random ?(seed = 17) ?(trials = 500) ?(bounds = default_bounds)
 let ladder ?fresh ?bases ?(bounds = default_bounds) ?jobs kind ~max_i q =
   List.init max_i (fun k ->
       let i = k + 1 in
-      match bases with
-      | Some bases -> check_on_bases ?fresh ~max_ext:i ?jobs kind q bases
-      | None ->
-        check_exhaustive ~bounds:{ bounds with max_ext = i } ?jobs kind q)
+      let m_bound =
+        Observe.Metrics.timing
+          ~labels:[ ("max_ext", string_of_int i) ]
+          "monotone.ladder_bound"
+      in
+      Observe.Metrics.time m_bound (fun () ->
+          match bases with
+          | Some bases -> check_on_bases ?fresh ~max_ext:i ?jobs kind q bases
+          | None ->
+            check_exhaustive ~bounds:{ bounds with max_ext = i } ?jobs kind q))
 
 type placement = {
   plain : outcome;

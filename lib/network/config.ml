@@ -61,6 +61,24 @@ type stats = {
   output_delta : Instance.t;
 }
 
+(* Telemetry (all stable): one recording per transition, mirroring the
+   [stats] record. Runs are deterministic given (policy, scheduler,
+   input), so these are reproducible across [jobs] by the pool's
+   buffer-merge discipline. *)
+let m_transitions = Observe.Metrics.counter "net.transitions"
+let m_messages = Observe.Metrics.counter "net.messages_sent"
+let m_deliveries = Observe.Metrics.counter "net.deliveries"
+let m_output_delta = Observe.Metrics.histogram "net.transition_output_delta"
+
+let record_stats stats =
+  Observe.Metrics.incr m_transitions;
+  if stats.messages_sent > 0 then
+    Observe.Metrics.incr ~by:stats.messages_sent m_messages;
+  if stats.delivered > 0 then
+    Observe.Metrics.incr ~by:stats.delivered m_deliveries;
+  Observe.Metrics.observe m_output_delta
+    (float_of_int (Instance.cardinal stats.output_delta))
+
 let system_facts variant policy network x a =
   let open Transducer_schema in
   let base = Instance.empty in
@@ -149,6 +167,7 @@ let transition ~variant ~policy ~transducer ~input t ~node:x ~deliver =
       output_delta = Instance.diff out2 out1;
     }
   in
+  record_stats stats;
   ({ state; buffer }, stats)
 
 let heartbeat ~variant ~policy ~transducer ~input t ~node =

@@ -20,6 +20,17 @@ end)
 
 exception Found of verdict
 
+(* Telemetry (all stable): BFS shape, not simulation detail. The inner
+   what-if simulation (successor steps, fair-continuation replays) runs
+   under [Metrics.silenced] — the sequential path caches continuations
+   while the parallel one recomputes them, so letting [Config.transition]
+   record there would make [net.*] counts jobs-dependent. What both paths
+   share is the round-structured search itself, and that is what we
+   count. *)
+let m_expanded = Observe.Metrics.counter "explore.expanded"
+let m_dedup = Observe.Metrics.counter "explore.dedup_hits"
+let m_frontier = Observe.Metrics.histogram "explore.frontier"
+
 let check ?(max_configs = 20_000) ?jobs ~variant ~policy ~transducer ~query
     ~input () =
   let network = Policy.network policy in
@@ -110,67 +121,58 @@ let check ?(max_configs = 20_000) ?jobs ~variant ~policy ~transducer ~query
       | missing :: _ -> Some (Stuck { config; missing })
       | [] -> None)
   in
+  (* Round-structured BFS, shared by both execution modes: expand the
+     whole frontier (output inspection, fair-continuation check,
+     successor computation — the expensive part), then a cheap
+     sequential merge dedups successors and checks the budget in exactly
+     the order the frontier was expanded. The parallel mode only swaps
+     the expansion mapper for [Pool.map] (with the uncached continuation
+     check, since the cache is not shared across domains), so verdicts,
+     certificate configs, visited counts — and the [explore.*] metrics —
+     are identical under any [jobs]. *)
+  let bfs ~mapper ~inspect =
+    let start = Config.start network in
+    let visited = ref (Cset.singleton start) in
+    let frontier = ref [ start ] in
+    try
+      while !frontier <> [] do
+        Observe.Metrics.observe m_frontier
+          (float_of_int (List.length !frontier));
+        let expanded =
+          mapper
+            (fun c ->
+              Observe.Metrics.silenced (fun () -> (inspect c, successors c)))
+            !frontier
+        in
+        let next = ref [] in
+        List.iter
+          (fun (verdict, succs) ->
+            if Cset.cardinal !visited > max_configs then
+              raise
+                (Found (Out_of_budget { configs = Cset.cardinal !visited }));
+            Observe.Metrics.incr m_expanded;
+            (match verdict with Some v -> raise (Found v) | None -> ());
+            List.iter
+              (fun c ->
+                if Cset.mem c !visited then Observe.Metrics.incr m_dedup
+                else begin
+                  visited := Cset.add c !visited;
+                  next := c :: !next
+                end)
+              succs)
+          expanded;
+        frontier := List.rev !next
+      done;
+      Consistent { configs = Cset.cardinal !visited }
+    with Found v -> v
+  in
   match jobs with
   | Some j when j > 1 ->
-    (* Per-round fan-out: the expensive work on every frontier config
-       (output inspection, fair-continuation check, successor
-       computation) runs on the Domain pool, then a cheap sequential
-       replay merges successors and checks the budget in exactly the
-       order the sequential BFS pops configs — so verdicts, certificate
-       configs, and visited counts are identical to the sequential
-       run's. *)
     Parallel.Pool.with_pool ~jobs:j (fun pool ->
-        let start = Config.start network in
-        let visited = ref (Cset.singleton start) in
-        let frontier = ref [ start ] in
-        try
-          while !frontier <> [] do
-            let expanded =
-              Parallel.Pool.map pool
-                (fun c -> (inspect_with final_outputs_uncached c, successors c))
-                !frontier
-            in
-            let next = ref [] in
-            List.iter
-              (fun (verdict, succs) ->
-                if Cset.cardinal !visited > max_configs then
-                  raise
-                    (Found (Out_of_budget { configs = Cset.cardinal !visited }));
-                (match verdict with Some v -> raise (Found v) | None -> ());
-                List.iter
-                  (fun c ->
-                    if not (Cset.mem c !visited) then begin
-                      visited := Cset.add c !visited;
-                      next := c :: !next
-                    end)
-                  succs)
-              expanded;
-            frontier := List.rev !next
-          done;
-          Consistent { configs = Cset.cardinal !visited }
-        with Found v -> v)
-  | _ ->
-    let visited = ref Cset.empty in
-    let queue = Queue.create () in
-    let enqueue c =
-      if not (Cset.mem c !visited) then begin
-        visited := Cset.add c !visited;
-        Queue.add c queue
-      end
-    in
-    enqueue (Config.start network);
-    (try
-       while not (Queue.is_empty queue) do
-         if Cset.cardinal !visited > max_configs then
-           raise (Found (Out_of_budget { configs = Cset.cardinal !visited }));
-         let config = Queue.pop queue in
-         (match inspect_with final_outputs config with
-         | Some v -> raise (Found v)
-         | None -> ());
-         List.iter enqueue (successors config)
-       done;
-       Consistent { configs = Cset.cardinal !visited }
-     with Found v -> v)
+        bfs
+          ~mapper:(fun f frontier -> Parallel.Pool.map pool f frontier)
+          ~inspect:(inspect_with final_outputs_uncached))
+  | _ -> bfs ~mapper:List.map ~inspect:(inspect_with final_outputs)
 
 let verdict_to_string = function
   | Consistent { configs } ->

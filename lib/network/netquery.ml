@@ -45,7 +45,10 @@ let check ?(schedulers = default_schedulers) ?policies ?max_rounds ?jobs
           schedulers)
       policies
   in
-  let runs = Run.sweep ?jobs ?max_rounds ~variant ~transducer ~input cells in
+  let runs =
+    Run.sweep ?jobs ?max_rounds ~variant ~transducer ~input cells
+    |> List.map (fun (label, r, _events) -> (label, r))
+  in
   let mismatches =
     List.filter_map
       (fun (label, r) ->

@@ -21,6 +21,21 @@ type counters = {
   mutable n_deliveries : int;
 }
 
+(* Telemetry (all stable): per-transition tallies live in [Config]; here
+   we record the round structure of a run — how many stabilization
+   rounds, how much observable output each contributed, and where
+   quiescence was reached. *)
+let m_rounds = Observe.Metrics.counter "net.rounds"
+let m_round_output_delta = Observe.Metrics.histogram "net.round_output_delta"
+let m_quiescence_round = Observe.Metrics.gauge "net.quiescence_round"
+let m_heartbeat_steps = Observe.Metrics.counter "net.heartbeat_steps"
+let m_run = Observe.Metrics.timing "net.run"
+
+let scheduler_label = function
+  | Round_robin -> "round_robin"
+  | Random _ -> "random"
+  | Stingy _ -> "stingy"
+
 let snapshot config =
   ( config.Config.state,
     Value.Map.map Multiset.support config.Config.buffer )
@@ -93,6 +108,12 @@ let random_phase ?tracer ~variant ~policy ~transducer ~input ~stingy counters
 
 let run ?tracer ?(max_rounds = 500) ~variant ~policy ~transducer ~input
     scheduler =
+  Observe.Sink.span ~cat:"net"
+    ~args:[ ("scheduler", Observe.Json.String (scheduler_label scheduler)) ]
+    "net.run"
+  @@ fun () ->
+  Observe.Metrics.time m_run @@ fun () ->
+  let schema = transducer.Transducer.schema in
   let counters = { n_transitions = 0; n_messages = 0; n_deliveries = 0 } in
   let config0 = Config.start (Policy.network policy) in
   let config0 =
@@ -109,21 +130,29 @@ let run ?tracer ?(max_rounds = 500) ~variant ~policy ~transducer ~input
         (Random.State.make [| seed |])
         steps config0
   in
-  let rec stabilize rounds prev config =
+  let rec stabilize rounds prev prev_out config =
     if rounds >= max_rounds then (config, rounds, false)
-    else
+    else begin
       let config' =
         full_round ?tracer ~variant ~policy ~transducer ~input counters config
       in
+      Observe.Metrics.incr m_rounds;
+      let out' = Instance.cardinal (Config.outputs schema config') in
+      Observe.Metrics.observe m_round_output_delta
+        (float_of_int (out' - prev_out));
       let snap = snapshot config' in
       match prev with
       | Some p when snapshot_equal p snap -> (config', rounds + 1, true)
-      | _ -> stabilize (rounds + 1) (Some snap) config'
+      | _ -> stabilize (rounds + 1) (Some snap) out' config'
+    end
   in
-  let config, rounds, quiesced = stabilize 0 None config0 in
+  let out0 = Instance.cardinal (Config.outputs schema config0) in
+  let config, rounds, quiesced = stabilize 0 None out0 config0 in
+  if quiesced then
+    Observe.Metrics.set m_quiescence_round (float_of_int rounds);
   {
     config;
-    outputs = Config.outputs transducer.Transducer.schema config;
+    outputs = Config.outputs schema config;
     transitions = counters.n_transitions;
     rounds;
     messages_sent = counters.n_messages;
@@ -133,13 +162,18 @@ let run ?tracer ?(max_rounds = 500) ~variant ~policy ~transducer ~input
 
 (* Run a batch of independent (label, policy, scheduler) sweep cells,
    optionally fanning them across a Domain pool. Each cell owns its RNG
-   state (seeded per scheduler), so cells are independent and the result
-   list is identical to the sequential one, in the same order. Tracing
-   callbacks are not supported in parallel mode, so [sweep] takes
-   none. *)
+   state (seeded per scheduler) and its own trace collector, so cells are
+   independent and the result list is identical to the sequential one, in
+   the same order — events included: earlier versions silently dropped
+   tracing in parallel mode; now every cell traces into a private
+   collector and the merged list carries each cell's events. *)
 let sweep ?jobs ?max_rounds ~variant ~transducer ~input cells =
   let run_cell (label, policy, scheduler) =
-    (label, run ?max_rounds ~variant ~policy ~transducer ~input scheduler)
+    let tracer = Trace.collector () in
+    let result =
+      run ~tracer ?max_rounds ~variant ~policy ~transducer ~input scheduler
+    in
+    (label, result, Trace.events tracer)
   in
   match jobs with
   | Some j when j > 1 ->
@@ -163,11 +197,15 @@ let heartbeat_prefix ?tracer ?(max_steps = 200) ~variant ~policy ~transducer
       else go (k + 1) config'
   in
   let config, quiesced = go 0 config0 in
+  Observe.Metrics.incr ~by:counters.n_transitions m_heartbeat_steps;
   {
     config;
     outputs = Config.outputs transducer.Transducer.schema config;
     transitions = counters.n_transitions;
-    rounds = 0;
+    (* Each heartbeat step is a one-transition "round" of its own; report
+       the number of steps actually taken (this used to be hardwired to
+       0). *)
+    rounds = counters.n_transitions;
     messages_sent = counters.n_messages;
     deliveries = counters.n_deliveries;
     quiesced;

@@ -52,11 +52,16 @@ val sweep :
   transducer:Transducer.t ->
   input:Instance.t ->
   (string * Policy.t * scheduler) list ->
-  (string * result) list
+  (string * result * Trace.event list) list
 (** Run a batch of independent (label, policy, scheduler) sweep cells,
     fanning them across [jobs] domains when [jobs > 1]. Each cell seeds
-    its own RNG, so the result list is identical to the sequential one
-    and in the same order. *)
+    its own RNG and traces into a {e private} collector, so the result
+    list — events included — is identical to the sequential one and in
+    the same order. (Earlier versions dropped traces silently in
+    parallel mode; per-cell collectors restore them under any [jobs].)
+    Metrics recorded during each cell's run are merged back in cell
+    order by {!Parallel.Pool.map}, so stable metric snapshots are
+    [jobs]-independent too. *)
 
 val heartbeat_prefix :
   ?tracer:Trace.collector ->
@@ -71,4 +76,8 @@ val heartbeat_prefix :
     (Definition 3's "prefix of only heartbeat transitions"): no message is
     ever read. Stops when the node's state stops changing (or at
     [max_steps], default 200). [outputs] are the node's accumulated output
-    facts; [quiesced] reports stabilization. *)
+    facts. [rounds] reports the number of heartbeat steps actually taken
+    (each step is its own one-transition round — this used to be
+    hardwired to [0]). [quiesced] is [true] iff the node's state reached
+    a fixpoint before [max_steps]; [quiesced = false] means the bound was
+    hit while the state was still changing. *)

@@ -11,13 +11,95 @@ type event = {
 type collector = event list ref
 
 let collector () = ref []
-let record c e = c := e :: !c
+
+(* Every trace event is also forwarded to the ambient structured-event
+   sink (a no-op while the sink is disabled), so enabling the sink turns
+   run traces into exportable JSONL / Chrome tracks for free. *)
+let sink_args e =
+  let facts fs = Observe.Json.List (List.map (fun f -> Observe.Json.String (Fact.to_string f)) fs) in
+  [
+    ("index", Observe.Json.Int e.index);
+    ("node", Observe.Json.String (Value.to_string e.node));
+    ("delivered", facts e.delivered);
+    ("sent", facts e.sent);
+    ("output_delta", facts e.output_delta);
+  ]
+
+let record c e =
+  c := e :: !c;
+  if Observe.Sink.is_enabled Observe.Sink.default then
+    Observe.Sink.record ~cat:"trace" ~args:(sink_args e) "net.transition"
+
 let events c = List.rev !c
 
 let outputs_timeline c =
   List.concat_map
     (fun e -> List.map (fun f -> (e.index, f)) e.output_delta)
     (events c)
+
+(* JSONL: one compact object per event. Facts are serialized through
+   [Fact.to_string]/[Fact.of_string], which round-trip for non-Skolem
+   values (Skolem values have no parseable syntax). *)
+let event_to_json e = Observe.Json.Obj (sink_args e)
+
+let to_jsonl evs =
+  String.concat ""
+    (List.map (fun e -> Observe.Json.to_string (event_to_json e) ^ "\n") evs)
+
+let event_of_json j =
+  let open Observe.Json in
+  let field name =
+    match member name j with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "trace event: missing field %S" name)
+  in
+  let ( let* ) = Result.bind in
+  let* index =
+    let* v = field "index" in
+    match v with Int i -> Ok i | _ -> Error "trace event: index not an int"
+  in
+  let* node =
+    let* v = field "node" in
+    match v with
+    | String s -> Ok (Value.of_string s)
+    | _ -> Error "trace event: node not a string"
+  in
+  let facts name =
+    let* v = field name in
+    match v with
+    | List l ->
+      (try
+         Ok
+           (List.map
+              (function
+                | String s -> Fact.of_string s
+                | _ -> invalid_arg "not a string")
+              l)
+       with Invalid_argument m ->
+         Error (Printf.sprintf "trace event: bad %s: %s" name m))
+    | _ -> Error (Printf.sprintf "trace event: %s not a list" name)
+  in
+  let* delivered = facts "delivered" in
+  let* sent = facts "sent" in
+  let* output_delta = facts "output_delta" in
+  Ok { index; node; delivered; sent; output_delta }
+
+let of_jsonl s =
+  let lines =
+    String.split_on_char '\n' s
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | l :: rest -> (
+      match Observe.Json.of_string l with
+      | Error m -> Error m
+      | Ok j -> (
+        match event_of_json j with
+        | Error m -> Error m
+        | Ok e -> go (e :: acc) rest))
+  in
+  go [] lines
 
 let pp_facts ppf facts =
   Format.pp_print_list

@@ -14,12 +14,25 @@ type event = {
 type collector
 
 val collector : unit -> collector
+
 val record : collector -> event -> unit
+(** Also forwards the event to {!Observe.Sink.default} (as a
+    ["net.transition"] instant in category ["trace"]) when that sink is
+    enabled, so run traces show up in JSONL / Chrome exports. *)
+
 val events : collector -> event list
 (** In transition order. *)
 
 val outputs_timeline : collector -> (int * Fact.t) list
 (** [(transition index, fact)] for every output fact, in order. *)
+
+val to_jsonl : event list -> string
+(** One compact JSON object per line. Facts are serialized with
+    {!Fact.to_string}; the encoding round-trips through {!of_jsonl} for
+    non-Skolem values. *)
+
+val of_jsonl : string -> (event list, string) result
+(** Parse {!to_jsonl} output (blank lines ignored). *)
 
 val pp_event : Format.formatter -> event -> unit
 

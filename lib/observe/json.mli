@@ -1,0 +1,37 @@
+(** A minimal JSON tree, printer, and parser.
+
+    The telemetry layer emits machine-readable artifacts (metrics
+    snapshots, JSONL event streams, Chrome [trace_event] files, bench
+    trajectories) and the test wall parses them back; keeping the codec
+    in-tree avoids a dependency and pins the exact syntax the exporters
+    guarantee. Numbers are split into [Int] and [Float] so counters
+    survive a round-trip without a [1 -> 1.0] drift. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering with RFC 8259 string escaping.
+    [Float] values render via ["%.17g"] (shortest round-trippable form is
+    not attempted); [nan] and infinities render as [null]. *)
+
+val to_string_pretty : t -> string
+(** Two-space indented rendering, for humans. *)
+
+val of_string : string -> (t, string) result
+(** Parses a single JSON value (surrounding whitespace allowed). Numbers
+    without [.], [e], or [E] parse as [Int]. *)
+
+val of_string_exn : string -> t
+(** @raise Invalid_argument on a parse error. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] on other constructors. *)
+
+val equal : t -> t -> bool

@@ -1,0 +1,301 @@
+type kind = Counter | Gauge | Histogram | Timing
+
+let kind_to_string = function
+  | Counter -> "counter"
+  | Gauge -> "gauge"
+  | Histogram -> "histogram"
+  | Timing -> "timing"
+
+type handle = {
+  id : int;
+  name : string;
+  labels : (string * string) list;
+  kind : kind;
+  stable : bool;
+}
+
+(* ------------------------------------------------------------------ *)
+(* The global intern table: a metric identity is (name, labels, kind),
+   shared by every collector. Handles are created at module
+   initialization time (or lazily for dynamic labels), never on a hot
+   path. *)
+
+let intern_lock = Mutex.create ()
+let interned : (string * (string * string) list * kind, handle) Hashtbl.t =
+  Hashtbl.create 64
+let registered : handle list ref = ref []
+let next_id = ref 0
+
+let register ?(labels = []) ?(stable = true) kind name =
+  let labels = List.sort (fun (a, _) (b, _) -> String.compare a b) labels in
+  let stable = stable && kind <> Timing in
+  Mutex.lock intern_lock;
+  let h =
+    match Hashtbl.find_opt interned (name, labels, kind) with
+    | Some h -> h
+    | None ->
+      let h = { id = !next_id; name; labels; kind; stable } in
+      incr next_id;
+      Hashtbl.add interned (name, labels, kind) h;
+      registered := h :: !registered;
+      h
+  in
+  Mutex.unlock intern_lock;
+  h
+
+let counter ?labels ?stable name = register ?labels ?stable Counter name
+let gauge ?labels ?stable name = register ?labels ?stable Gauge name
+let histogram ?labels ?stable name = register ?labels ?stable Histogram name
+let timing ?labels name = register ?labels ~stable:false Timing name
+
+(* ------------------------------------------------------------------ *)
+(* Collectors *)
+
+type cell = {
+  mutable count : int;
+  mutable sum : float;
+  mutable vmin : float;
+  mutable vmax : float;
+  mutable last : float;
+}
+
+type t = { lock : Mutex.t; mutable cells : cell option array }
+
+let create () = { lock = Mutex.create (); cells = Array.make 32 None }
+
+let root = create ()
+
+let ambient : t Domain.DLS.key = Domain.DLS.new_key (fun () -> root)
+
+let current () = Domain.DLS.get ambient
+
+let with_current t f =
+  let saved = Domain.DLS.get ambient in
+  Domain.DLS.set ambient t;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set ambient saved) f
+
+let silenced f = with_current (create ()) f
+
+let cell_of t (h : handle) =
+  let n = Array.length t.cells in
+  if h.id >= n then begin
+    let cells = Array.make (max (h.id + 1) (2 * n)) None in
+    Array.blit t.cells 0 cells 0 n;
+    t.cells <- cells
+  end;
+  match t.cells.(h.id) with
+  | Some c -> c
+  | None ->
+    let c = { count = 0; sum = 0.; vmin = nan; vmax = nan; last = nan } in
+    t.cells.(h.id) <- Some c;
+    c
+
+let widen c v =
+  if c.count = 1 then begin
+    c.vmin <- v;
+    c.vmax <- v
+  end
+  else begin
+    if v < c.vmin then c.vmin <- v;
+    if v > c.vmax then c.vmax <- v
+  end
+
+let record t h f =
+  Mutex.lock t.lock;
+  (try f (cell_of t h)
+   with e ->
+     Mutex.unlock t.lock;
+     raise e);
+  Mutex.unlock t.lock
+
+let incr ?(by = 1) h =
+  record (current ()) h (fun c ->
+      c.count <- c.count + by;
+      c.sum <- c.sum +. float_of_int by)
+
+let observe h v =
+  record (current ()) h (fun c ->
+      c.count <- c.count + 1;
+      c.sum <- c.sum +. v;
+      c.last <- v;
+      widen c v)
+
+let set h v =
+  record (current ()) h (fun c ->
+      c.count <- c.count + 1;
+      c.last <- v)
+
+let now () = Unix.gettimeofday ()
+
+let time h f =
+  let t0 = now () in
+  Fun.protect ~finally:(fun () -> observe h (now () -. t0)) f
+
+let merge_into dst src =
+  (* Collectors are merged by the domain that owns [src] after its task
+     completed, so only [dst] needs locking. *)
+  Mutex.lock dst.lock;
+  Array.iteri
+    (fun id src_cell ->
+      match src_cell with
+      | None -> ()
+      | Some s when s.count = 0 -> ()
+      | Some s ->
+        let h =
+          (* ids are dense; find the handle to size dst's array. *)
+          { id; name = ""; labels = []; kind = Counter; stable = true }
+        in
+        let d = cell_of dst h in
+        let was_empty = d.count = 0 in
+        d.count <- d.count + s.count;
+        d.sum <- d.sum +. s.sum;
+        d.last <- s.last;
+        if was_empty then begin
+          d.vmin <- s.vmin;
+          d.vmax <- s.vmax
+        end
+        else begin
+          if s.vmin < d.vmin then d.vmin <- s.vmin;
+          if s.vmax > d.vmax then d.vmax <- s.vmax
+        end)
+    src.cells;
+  Mutex.unlock dst.lock
+
+let reset t =
+  Mutex.lock t.lock;
+  Array.iteri (fun i _ -> t.cells.(i) <- None) t.cells;
+  Mutex.unlock t.lock
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots *)
+
+type row = {
+  name : string;
+  labels : (string * string) list;
+  kind : kind;
+  stable : bool;
+  count : int;
+  sum : float;
+  vmin : float;
+  vmax : float;
+  last : float;
+}
+
+let snapshot ?(stable_only = false) t =
+  Mutex.lock intern_lock;
+  let handles = !registered in
+  Mutex.unlock intern_lock;
+  Mutex.lock t.lock;
+  let rows =
+    List.filter_map
+      (fun (h : handle) ->
+        if stable_only && not h.stable then None
+        else if h.id >= Array.length t.cells then None
+        else
+          match t.cells.(h.id) with
+          | None -> None
+          | Some c when c.count = 0 -> None
+          | Some c ->
+            Some
+              {
+                name = h.name;
+                labels = h.labels;
+                kind = h.kind;
+                stable = h.stable;
+                count = c.count;
+                sum = c.sum;
+                vmin = c.vmin;
+                vmax = c.vmax;
+                last = c.last;
+              })
+      handles
+  in
+  Mutex.unlock t.lock;
+  List.sort
+    (fun a b ->
+      match String.compare a.name b.name with
+      | 0 -> compare a.labels b.labels
+      | c -> c)
+    rows
+
+let label_string labels =
+  match labels with
+  | [] -> ""
+  | _ ->
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) labels)
+    ^ "}"
+
+let num f =
+  if Float.is_nan f then "nan"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+let render_stable t =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun r ->
+      Buffer.add_string b
+        (Printf.sprintf "%s%s %s count=%d sum=%s min=%s max=%s last=%s\n"
+           r.name (label_string r.labels) (kind_to_string r.kind) r.count
+           (num r.sum) (num r.vmin) (num r.vmax) (num r.last)))
+    (snapshot ~stable_only:true t);
+  Buffer.contents b
+
+let row_to_json r =
+  Json.Obj
+    [
+      ("name", Json.String r.name);
+      ("labels", Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) r.labels));
+      ("kind", Json.String (kind_to_string r.kind));
+      ("count", Json.Int r.count);
+      ("sum", Json.Float r.sum);
+      ("min", Json.Float r.vmin);
+      ("max", Json.Float r.vmax);
+      ("last", Json.Float r.last);
+    ]
+
+let to_json t =
+  let rows = snapshot t in
+  let stable, volatile = List.partition (fun r -> r.stable) rows in
+  Json.Obj
+    [
+      ("schema", Json.String "calm-metrics/v1");
+      ("metrics", Json.List (List.map row_to_json stable));
+      ("volatile", Json.List (List.map row_to_json volatile));
+    ]
+
+let pp_profile ?(redact_timings = false) ppf t =
+  let rows = snapshot t in
+  let stable, volatile = List.partition (fun r -> r.stable) rows in
+  let key r = r.name ^ label_string r.labels in
+  let width =
+    List.fold_left (fun w r -> max w (String.length (key r))) 24 rows
+  in
+  let value r =
+    match r.kind with
+    | Counter -> string_of_int r.count
+    | Gauge -> num r.last
+    | Histogram | Timing ->
+      Printf.sprintf "n=%d sum=%s min=%s max=%s" r.count (num r.sum)
+        (num r.vmin) (num r.vmax)
+  in
+  let redacted r = Printf.sprintf "n=%d sum=- min=- max=-" r.count in
+  Format.fprintf ppf "== profile: stable metrics ==@.";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "  %-*s %-9s %s@." width (key r)
+        (kind_to_string r.kind) (value r))
+    stable;
+  if volatile <> [] then begin
+    Format.fprintf ppf "== profile: timings and per-worker tallies \
+                        (schedule-dependent) ==@.";
+    List.iter
+      (fun r ->
+        Format.fprintf ppf "  %-*s %-9s %s@." width (key r)
+          (kind_to_string r.kind)
+          (if redact_timings then redacted r else value r))
+      volatile
+  end

@@ -1,0 +1,123 @@
+(** Metrics registry: counters, gauges, and histograms keyed by
+    name + labels, with a strict stable/volatile split.
+
+    The paper's constructive results are operational — Theorems 4.3/4.4/4.5
+    are claims about how many messages, rounds, and heartbeats a
+    coordination-free strategy spends — so the semantic counters of a run
+    are first-class outputs, not debug noise. Two requirements shape this
+    module:
+
+    {ol
+    {- {b Determinism under [?jobs].} Every {e stable} metric must have
+       byte-identical values whether the work ran sequentially or fanned
+       out on the {!Parallel.Pool}. Work units executed on the pool record
+       into per-task collectors which the pool merges back {e in input
+       order} (and, for cancelled searches, only up to the winning index),
+       so stable aggregates cannot observe scheduling. Wall-clock
+       measurements and per-worker tallies are inherently
+       schedule-dependent; they are registered as {e volatile} and
+       excluded from stable snapshots and equality.}
+    {- {b Zero plumbing on hot paths.} Instrumented code records into an
+       ambient per-domain collector ({!with_current}); handles are
+       interned once at module initialization, so a hit on a hot path is a
+       lock, two or three field updates, and an unlock.}} *)
+
+type kind = Counter | Gauge | Histogram | Timing
+
+type t
+(** A collector: a set of cells, one per registered metric. *)
+
+type handle
+(** An interned (name, labels, kind) triple, shared by all collectors. *)
+
+(** {1 Registering metrics} *)
+
+val counter : ?labels:(string * string) list -> ?stable:bool -> string -> handle
+(** Monotonically increasing integer total. [stable] defaults to [true]. *)
+
+val gauge : ?labels:(string * string) list -> ?stable:bool -> string -> handle
+(** Last-written value. *)
+
+val histogram :
+  ?labels:(string * string) list -> ?stable:bool -> string -> handle
+(** Distribution summary: count, sum, min, max of observed values. *)
+
+val timing : ?labels:(string * string) list -> string -> handle
+(** A histogram of durations in seconds; always volatile. *)
+
+(** {1 Recording (into the ambient collector)} *)
+
+val incr : ?by:int -> handle -> unit
+val set : handle -> float -> unit
+val observe : handle -> float -> unit
+
+val time : handle -> (unit -> 'a) -> 'a
+(** Run the thunk, record its wall-clock duration, and re-raise whatever
+    it raises (the duration is recorded either way). *)
+
+val now : unit -> float
+(** The clock used by {!time} and by the event {!Sink}: seconds, from
+    [Unix.gettimeofday]. *)
+
+(** {1 Collectors} *)
+
+val root : t
+(** The process-wide default collector. Every domain's ambient collector
+    starts as [root]; the CLI snapshots it for [--metrics-out]. *)
+
+val create : unit -> t
+
+val current : unit -> t
+(** This domain's ambient collector. *)
+
+val with_current : t -> (unit -> 'a) -> 'a
+(** Run the thunk with the ambient collector rebound (restored on exit,
+    also on exceptions). This is what the pool uses to give each task its
+    own buffer. *)
+
+val silenced : (unit -> 'a) -> 'a
+(** Run the thunk with a throwaway ambient collector: everything it
+    records is discarded. Used by the model checker, whose inner
+    what-if simulation must not pollute the network counters. *)
+
+val merge_into : t -> t -> unit
+(** [merge_into dst src] adds [src]'s cells into [dst]: counters and
+    histograms add (count, sum) and widen (min, max); a gauge written in
+    [src] overwrites the one in [dst]. Merging per-task buffers in input
+    order therefore reproduces exactly the sequential recording order. *)
+
+val reset : t -> unit
+
+(** {1 Snapshots} *)
+
+type row = {
+  name : string;
+  labels : (string * string) list;  (** sorted by label key *)
+  kind : kind;
+  stable : bool;
+  count : int;      (** counter total, or number of observations *)
+  sum : float;
+  vmin : float;     (** [nan] when count = 0 *)
+  vmax : float;
+  last : float;     (** gauges: the last written value *)
+}
+
+val snapshot : ?stable_only:bool -> t -> row list
+(** Rows with at least one recording, sorted by (name, labels); with
+    [stable_only] (default [false]) volatile rows are dropped. *)
+
+val render_stable : t -> string
+(** Canonical one-line-per-row text of the stable rows — the string the
+    determinism wall compares byte-for-byte across [jobs] 1/2/4. *)
+
+val to_json : t -> Json.t
+(** [{ "schema": "calm-metrics/v1", "metrics": [...], "volatile": [...] }];
+    the [metrics] section holds the stable rows. *)
+
+val pp_profile :
+  ?redact_timings:bool -> Format.formatter -> t -> unit
+(** Human profile tables: stable metrics, then volatile/timing rows. With
+    [redact_timings] every schedule-dependent number is replaced by ["-"]
+    so the output is reproducible (used by the golden fixture). *)
+
+val kind_to_string : kind -> string

@@ -1,0 +1,104 @@
+let ( let* ) = Result.bind
+
+let error fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+let field name j =
+  match Json.member name j with
+  | Some v -> Ok v
+  | None -> error "missing field %S" name
+
+let string_field name j =
+  match Json.member name j with
+  | Some (Json.String s) -> Ok s
+  | Some _ -> error "field %S is not a string" name
+  | None -> error "missing field %S" name
+
+let number_field name j =
+  match Json.member name j with
+  | Some (Json.Float f) -> Ok f
+  | Some (Json.Int i) -> Ok (float_of_int i)
+  | Some _ -> error "field %S is not a number" name
+  | None -> error "missing field %S" name
+
+let int_field name j =
+  match Json.member name j with
+  | Some (Json.Int i) -> Ok i
+  | Some _ -> error "field %S is not an integer" name
+  | None -> error "missing field %S" name
+
+let list_field name j =
+  match Json.member name j with
+  | Some (Json.List l) -> Ok l
+  | Some _ -> error "field %S is not an array" name
+  | None -> error "missing field %S" name
+
+let obj_field name j =
+  match Json.member name j with
+  | Some (Json.Obj o) -> Ok o
+  | Some _ -> error "field %S is not an object" name
+  | None -> error "missing field %S" name
+
+let expect_schema tag j =
+  let* s = string_field "schema" j in
+  if s = tag then Ok () else error "schema is %S, expected %S" s tag
+
+let rec each f i = function
+  | [] -> Ok ()
+  | x :: rest -> (
+    match f x with
+    | Ok () -> each f (i + 1) rest
+    | Error e -> error "entry %d: %s" i e)
+
+let known_kinds = [ "counter"; "gauge"; "histogram"; "timing" ]
+
+let validate_row row =
+  let* name = string_field "name" row in
+  let* _ = obj_field "labels" row in
+  let* kind = string_field "kind" row in
+  let* count = int_field "count" row in
+  let* _ = field "sum" row in
+  let* _ = field "min" row in
+  let* _ = field "max" row in
+  let* _ = field "last" row in
+  if not (List.mem kind known_kinds) then
+    error "row %S has unknown kind %S" name kind
+  else if count < 0 then error "row %S has negative count" name
+  else Ok ()
+
+let validate_metrics j =
+  let* () = expect_schema "calm-metrics/v1" j in
+  let* stable = list_field "metrics" j in
+  let* volatile = list_field "volatile" j in
+  let* () = each validate_row 0 stable in
+  each validate_row 0 volatile
+
+let validate_bench j =
+  let* () = expect_schema "calm-bench/v1" j in
+  let* _ = field "quick" j in
+  let* jobs = int_field "jobs" j in
+  let* experiments = list_field "experiments" j in
+  if jobs < 1 then error "jobs must be >= 1"
+  else if experiments = [] then error "experiments array is empty"
+  else
+    each
+      (fun e ->
+        let* id = string_field "id" e in
+        let* wall = number_field "wall_s" e in
+        let* _ = obj_field "metrics" e in
+        if wall < 0. then error "experiment %S has negative wall_s" id
+        else Ok ())
+      0 experiments
+
+let validate_trace j =
+  let* events = list_field "traceEvents" j in
+  each
+    (fun e ->
+      let* ph = string_field "ph" e in
+      let* _ = int_field "pid" e in
+      let* _ = int_field "tid" e in
+      if ph = "M" then Ok ()
+      else
+        let* _ = string_field "name" e in
+        let* _ = number_field "ts" e in
+        Ok ())
+    0 events

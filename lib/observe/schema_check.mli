@@ -1,0 +1,20 @@
+(** Structural validators for the JSON artifacts the telemetry layer
+    emits. CI runs these (via [calm validate]) against the bench
+    trajectory file and the [--metrics-out] snapshot before uploading
+    them, so a malformed exporter fails the build instead of silently
+    polluting the trajectory. *)
+
+val validate_metrics : Json.t -> (unit, string) result
+(** The [--metrics-out] document: [schema = "calm-metrics/v1"], a
+    [metrics] array of stable rows and a [volatile] array, every row with
+    [name]/[labels]/[kind]/[count]/[sum]/[min]/[max]/[last] of the right
+    types and a known [kind]. *)
+
+val validate_bench : Json.t -> (unit, string) result
+(** The [bench --json] document: [schema = "calm-bench/v1"], [quick] and
+    [jobs] fields, and a non-empty [experiments] array whose entries
+    carry [id], a non-negative [wall_s], and a [metrics] object. *)
+
+val validate_trace : Json.t -> (unit, string) result
+(** A Chrome [trace_event] document: a [traceEvents] array whose entries
+    all have [ph]/[pid]/[tid], with [name]/[ts] on non-metadata events. *)

@@ -1,0 +1,75 @@
+(** Structured event sink with pluggable exporters.
+
+    A sink collects timestamped events — instants and spans — from any
+    domain; each domain tags its events with an ambient {e track} name
+    (the pool labels its workers [worker-1..n-1]), so a Chrome
+    [trace_event] export shows the pool's workers as separate tracks in
+    Perfetto / [chrome://tracing].
+
+    The process-wide {!default} sink starts {e disabled} and costs one
+    branch per event while disabled; the CLI enables it when the user
+    passes [--trace-out]. *)
+
+type t
+
+type event = {
+  ts : float;  (** seconds since the sink was created/enabled *)
+  dur : float option;  (** [Some seconds] for spans, [None] for instants *)
+  track : string;  (** e.g. ["main"], ["worker-3"] *)
+  cat : string;  (** subsystem: ["net"], ["pool"], ["eval"], ... *)
+  name : string;
+  args : (string * Json.t) list;
+}
+
+val create : unit -> t
+(** A fresh, enabled sink with its clock zeroed at the call. *)
+
+val default : t
+(** The process-wide sink; starts disabled. *)
+
+val enable : t -> unit
+(** Clear the sink, re-zero its clock, start recording. *)
+
+val disable : t -> unit
+val is_enabled : t -> bool
+
+val set_track : string -> unit
+(** Set this domain's ambient track name (default ["main"]). *)
+
+val record :
+  ?sink:t -> ?cat:string -> ?args:(string * Json.t) list -> string -> unit
+(** Record an instant event on the ambient track ([sink] defaults to
+    {!default}); a no-op when the sink is disabled. *)
+
+val span :
+  ?sink:t ->
+  ?cat:string ->
+  ?args:(string * Json.t) list ->
+  string ->
+  (unit -> 'a) ->
+  'a
+(** Run the thunk and record a span covering it (recorded even when the
+    thunk raises). When the sink is disabled, just runs the thunk. *)
+
+val events : t -> event list
+(** In chronological (recording) order. *)
+
+(** {1 Exporters} *)
+
+val to_jsonl : event list -> string
+(** One JSON object per line:
+    [{"ts":..,"dur":..,"track":..,"cat":..,"name":..,"args":{..}}]. *)
+
+val event_of_json : Json.t -> (event, string) result
+(** Inverse of one {!to_jsonl} line — the round-trip half the test wall
+    checks. *)
+
+val of_jsonl : string -> (event list, string) result
+
+val to_chrome : event list -> string
+(** A Chrome [trace_event] JSON document: spans as ["ph":"X"] complete
+    events and instants as ["ph":"i"], microsecond timestamps, one [tid]
+    per track (with [thread_name] metadata), loadable in Perfetto. *)
+
+val pp_human : ?limit:int -> Format.formatter -> event list -> unit
+(** The first [limit] (default 40) events, one per line. *)

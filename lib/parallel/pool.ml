@@ -15,7 +15,16 @@
    concurrently. Determinism rests on one invariant: indices are issued
    contiguously and an issued element is always processed to completion,
    so when the winning event at index i is recorded, every index below i
-   has been issued and will report before the joins complete. *)
+   has been issued and will report before the joins complete.
+
+   Telemetry: each task runs with its own Observe.Metrics collector, and
+   the combinators merge those buffers back into the caller's ambient
+   collector in input order — for [search], only the buffers of indices
+   up to and including the winning event. A parallel run therefore
+   commits exactly the metric recordings the sequential scan would have
+   made, which is what lets stable metrics be byte-identical across
+   [jobs]. Wall-clock spans and per-worker task tallies are recorded
+   directly into the root collector as volatile metrics. *)
 
 type t = {
   jobs : int;
@@ -32,7 +41,45 @@ type t = {
 let default_jobs () = Domain.recommended_domain_count ()
 let jobs t = t.jobs
 
-let worker t =
+(* Volatile pool telemetry: schedule-dependent by nature, so recorded
+   straight into the root collector and excluded from stable snapshots. *)
+let m_worker_tasks w =
+  Observe.Metrics.counter ~stable:false
+    ~labels:[ ("worker", string_of_int w) ]
+    "pool.worker_tasks"
+
+let m_worker_busy w =
+  Observe.Metrics.timing
+    ~labels:[ ("worker", string_of_int w) ]
+    "pool.worker_busy"
+
+(* Also volatile: although their values are deterministic when the pool
+   is used (first hit in enumeration order; total fan-out), whether the
+   pool is used at all depends on [jobs] — the checkers bypass it on
+   their sequential paths — so these rows cannot appear in a snapshot
+   that must be byte-identical across [jobs]. *)
+let m_map_tasks = Observe.Metrics.counter ~stable:false "pool.map_tasks"
+let m_search_cancel_index =
+  Observe.Metrics.gauge ~stable:false "pool.search_cancel_index"
+
+(* This domain's worker number within the current pool: 0 for the owner,
+   1..jobs-1 for spawned workers. *)
+let worker_id : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
+
+let run_tasks_on_root f =
+  (* Worker-side bookkeeping must bypass the ambient task buffer (which
+     may be discarded), so it targets the root collector explicitly. *)
+  let w = Domain.DLS.get worker_id in
+  let busy = m_worker_busy w in
+  Observe.Sink.span ~cat:"pool"
+    ~args:[ ("worker", Observe.Json.Int w) ]
+    "pool.region"
+    (fun () -> Observe.Metrics.with_current Observe.Metrics.root
+        (fun () -> Observe.Metrics.time busy f))
+
+let worker t i =
+  Domain.DLS.set worker_id i;
+  Observe.Sink.set_track (Printf.sprintf "worker-%d" i);
   let rec loop gen =
     Mutex.lock t.mutex;
     while (not t.stopped) && t.generation = gen do
@@ -43,7 +90,7 @@ let worker t =
       let gen = t.generation in
       let body = Option.get t.body in
       Mutex.unlock t.mutex;
-      (try body () with _ -> ());
+      (try run_tasks_on_root body with _ -> ());
       Mutex.lock t.mutex;
       t.active <- t.active - 1;
       if t.active = 0 then Condition.broadcast t.work_done;
@@ -70,7 +117,8 @@ let create ?jobs () =
       domains = [];
     }
   in
-  t.domains <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t.domains <-
+    List.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker t (i + 1)));
   t
 
 let shutdown t =
@@ -98,7 +146,7 @@ let run t body =
     t.active <- List.length t.domains;
     Condition.broadcast t.work_ready;
     Mutex.unlock t.mutex;
-    (try body () with e -> (
+    (try run_tasks_on_root body with e -> (
        (* Wait for the workers even on an owner-side failure, otherwise a
           second region could start while they still run the old body. *)
        Mutex.lock t.mutex;
@@ -112,13 +160,17 @@ let run t body =
 
 (* Order-preserving parallel map. Equivalent to [List.map f xs],
    including on raising [f]: the exception of the first raising element
-   (in input order) is re-raised. *)
+   (in input order) is re-raised. Task metric buffers are merged back in
+   input order, up to and including the first raising element — exactly
+   the recordings the sequential [List.map] would have committed. *)
 let map t f xs =
+  Observe.Metrics.incr ~by:(List.length xs) m_map_tasks;
   if t.domains = [] then List.map f xs
   else begin
     let arr = Array.of_list xs in
     let n = Array.length arr in
     let out = Array.make n None in
+    let bufs = Array.make n None in
     let m = Mutex.create () in
     let next = ref 0 in
     let err = ref None in
@@ -145,20 +197,38 @@ let map t f xs =
       | _ -> err := Some (i, e));
       Mutex.unlock m
     in
+    let caller = Observe.Metrics.current () in
     run t (fun () ->
         let rec go () =
           match take () with
           | None -> ()
           | Some i ->
-            (match f arr.(i) with
+            let w = Domain.DLS.get worker_id in
+            Observe.Metrics.incr (m_worker_tasks w);
+            let buf = Observe.Metrics.create () in
+            bufs.(i) <- Some buf;
+            (match
+               Observe.Metrics.with_current buf (fun () -> f arr.(i))
+             with
             | y -> out.(i) <- Some y
             | exception e -> record_err i e);
             go ()
         in
         go ());
+    let commit_upto last =
+      for i = 0 to min last (n - 1) do
+        match bufs.(i) with
+        | Some buf -> Observe.Metrics.merge_into caller buf
+        | None -> ()
+      done
+    in
     match !err with
-    | Some (_, e) -> raise e
-    | None -> Array.to_list (Array.map Option.get out)
+    | Some (j, e) ->
+      commit_upto j;
+      raise e
+    | None ->
+      commit_upto (n - 1);
+      Array.to_list (Array.map Option.get out)
   end
 
 type 'b outcome =
@@ -180,7 +250,12 @@ let search t f seq =
       | Seq.Nil -> Exhausted !count
       | Seq.Cons (x, rest) -> (
         incr count;
-        match f x with Some b -> Found b | None -> go rest)
+        match f x with
+        | Some b ->
+          Observe.Metrics.set m_search_cancel_index
+            (float_of_int (!count - 1));
+          Found b
+        | None -> go rest)
     in
     go seq
   in
@@ -192,6 +267,10 @@ let search t f seq =
     (* Minimal-index event: a hit or an exception, whichever enumerates
        first. *)
     let best = ref None in
+    (* Per-index task metric buffers; only those at indices <= the final
+       event index are committed, in index order, so the parallel search
+       records exactly what the sequential left-to-right scan would. *)
+    let bufs : (int, Observe.Metrics.t) Hashtbl.t = Hashtbl.create 64 in
     let record i ev =
       match !best with
       | Some (j, _) when j <= i -> ()
@@ -211,7 +290,9 @@ let search t f seq =
             cur := rest;
             let i = !next in
             incr next;
-            Some (i, x)
+            let buf = Observe.Metrics.create () in
+            Hashtbl.replace bufs i buf;
+            Some (i, x, buf)
           | exception e ->
             record !next (Error e);
             cur := Seq.empty;
@@ -225,20 +306,37 @@ let search t f seq =
       record i ev;
       Mutex.unlock m
     in
+    let caller = Observe.Metrics.current () in
     run t (fun () ->
         let rec go () =
           match take () with
           | None -> ()
-          | Some (i, x) ->
-            (match f x with
+          | Some (i, x, buf) ->
+            let w = Domain.DLS.get worker_id in
+            Observe.Metrics.incr (m_worker_tasks w);
+            (match Observe.Metrics.with_current buf (fun () -> f x) with
             | Some b -> record_locked i (Ok b)
             | None -> ()
             | exception e -> record_locked i (Error e));
             go ()
         in
         go ());
+    let commit_upto last =
+      for i = 0 to last do
+        match Hashtbl.find_opt bufs i with
+        | Some buf -> Observe.Metrics.merge_into caller buf
+        | None -> ()
+      done
+    in
     match !best with
-    | Some (_, Ok b) -> Found b
-    | Some (_, Error e) -> raise e
-    | None -> Exhausted !next
+    | Some (i, Ok b) ->
+      commit_upto i;
+      Observe.Metrics.set m_search_cancel_index (float_of_int i);
+      Found b
+    | Some (i, Error e) ->
+      commit_upto i;
+      raise e
+    | None ->
+      commit_upto (!next - 1);
+      Exhausted !next
   end

@@ -9,7 +9,19 @@
     Both combinators are {e deterministic}: their observable behaviour
     (results, and which exception propagates) is independent of [jobs]
     and of scheduling, which is what lets the checkers expose a [?jobs]
-    knob without perturbing verdicts or certificates. *)
+    knob without perturbing verdicts or certificates.
+
+    The same guarantee extends to telemetry: every task runs with its own
+    {!Observe.Metrics} buffer, and the combinators merge the buffers back
+    into the caller's ambient collector in input order — for {!search},
+    only up to the winning index — so {e stable} metrics recorded inside
+    tasks are byte-identical across [jobs]. The pool additionally records
+    volatile per-worker tallies ([pool.worker_tasks], [pool.worker_busy]),
+    the fan-out counter [pool.map_tasks], and the
+    [pool.search_cancel_index] gauge (the winning index of the last
+    search) — all volatile, since whether the pool runs at all depends on
+    [jobs] — and tags each worker's {!Observe.Sink} events with a
+    [worker-i] track. *)
 
 type t
 

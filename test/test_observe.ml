@@ -1,0 +1,369 @@
+(* The telemetry test wall.
+
+   Three claims are pinned here:
+   1. Stable metric snapshots are byte-identical across jobs 1/2/4 — on
+      the policy × scheduler sweep grid, on the zoo membership checks
+      (including cancelled searches), and on the model checker.
+   2. The exporters round-trip: sink events through JSONL, run traces
+      through JSONL, and the Chrome export parses and validates.
+   3. The schema validators accept what the exporters emit and reject
+      tampered documents.
+   Plus regressions for the two bugs fixed alongside the telemetry
+   layer: parallel sweeps used to drop traces, and heartbeat prefixes
+   used to report rounds = 0. *)
+
+open Relational
+open Monotone
+open Queries
+
+let check_bool name expected actual = Alcotest.(check bool) name expected actual
+let check_str name expected actual = Alcotest.(check string) name expected actual
+
+let job_counts = [ 1; 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Json: parse/print round-trips *)
+
+let test_json_roundtrip () =
+  let open Observe.Json in
+  let samples =
+    [
+      Null;
+      Bool true;
+      Int 42;
+      Int (-7);
+      Float 3.25;
+      Float 1e-9;
+      String "plain";
+      String "esc \"quotes\" \\ back\nnewline \t tab \x01 ctrl";
+      List [ Int 1; Null; String "x" ];
+      Obj [ ("a", Int 1); ("b", List [ Bool false ]); ("c", Obj []) ];
+    ]
+  in
+  List.iter
+    (fun j ->
+      let s = to_string j in
+      match of_string s with
+      | Error m -> Alcotest.failf "reparse of %s failed: %s" s m
+      | Ok j' -> check_bool ("roundtrip " ^ s) true (equal j j'))
+    samples;
+  (* Pretty-printed output parses back to the same tree. *)
+  let j = Obj [ ("xs", List [ Int 1; Int 2 ]); ("s", String "hi") ] in
+  (match of_string (to_string_pretty j) with
+  | Ok j' -> check_bool "pretty roundtrip" true (equal j j')
+  | Error m -> Alcotest.fail m);
+  List.iter
+    (fun bad ->
+      check_bool ("rejects " ^ bad) true
+        (Result.is_error (of_string bad)))
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2"; "{'a':1}" ]
+
+(* ------------------------------------------------------------------ *)
+(* Stable snapshots are byte-identical across jobs *)
+
+(* Run [f] with a clean root collector and return the canonical stable
+   rendering of what it recorded. *)
+let stable_snapshot f =
+  Observe.Metrics.reset Observe.Metrics.root;
+  ignore (f ());
+  Observe.Metrics.render_stable Observe.Metrics.root
+
+let assert_jobs_invariant name f =
+  let baseline = stable_snapshot (fun () -> f 1) in
+  check_bool (name ^ ": baseline records something") true (baseline <> "");
+  List.iter
+    (fun jobs ->
+      check_str
+        (Printf.sprintf "%s: jobs=%d = jobs=1" name jobs)
+        baseline
+        (stable_snapshot (fun () -> f jobs)))
+    job_counts
+
+let net2 = Distributed.network_of_ints [ 101; 102 ]
+
+let comp_edges =
+  Query.make ~name:"comp-edges" ~input:Graph_gen.schema
+    ~output:(Schema.of_list [ ("O", 2) ])
+    (fun i ->
+      let dom = Value.Set.elements (Instance.adom i) in
+      List.fold_left
+        (fun acc a ->
+          List.fold_left
+            (fun acc b ->
+              if Instance.mem (Fact.make "E" [ a; b ]) i then acc
+              else Instance.add (Fact.make "O" [ a; b ]) acc)
+            acc dom)
+        Instance.empty dom)
+
+let test_sweep_metrics_jobs_invariant () =
+  let input = Graph_gen.of_edges [ (1, 2); (2, 3); (5, 1) ] in
+  assert_jobs_invariant "netquery sweep grid" (fun jobs ->
+      Network.Netquery.check ~jobs ~variant:Network.Config.policy_aware
+        ~transducer:(Strategies.Absence.transducer comp_edges)
+        ~query:comp_edges ~input net2)
+
+let small = { Checker.dom_size = 3; fresh = 2; max_base = 3; max_ext = 2 }
+
+let test_checker_metrics_jobs_invariant () =
+  (* Both outcomes matter: TC holds (full scans), comp-TC is violated
+     (cancelled searches, where the pool must commit exactly the probes
+     at indices up to the winning one). *)
+  List.iter
+    (fun (name, q) ->
+      List.iter
+        (fun kind ->
+          assert_jobs_invariant
+            (Printf.sprintf "checker %s/%s" name (Classes.kind_to_string kind))
+            (fun jobs -> Checker.check_exhaustive ~bounds:small ~jobs kind q))
+        [ Classes.Plain; Classes.Distinct; Classes.Disjoint ])
+    [ ("tc", Zoo.tc); ("comp-tc", Zoo.comp_tc); ("q-star-2", Zoo.q_star 2) ]
+
+let test_explore_metrics_jobs_invariant () =
+  let crossed = Graph_gen.of_edges [ (1, 2); (2, 1) ] in
+  let parity =
+    Network.Policy.make ~name:"parity" Graph_gen.schema net2 (fun f ->
+        match Fact.arg f 0 with
+        | Value.Int a when a mod 2 = 1 -> [ Value.Int 101 ]
+        | _ -> [ Value.Int 102 ])
+  in
+  assert_jobs_invariant "explore broadcast/comp-edges" (fun jobs ->
+      Network.Explore.check ~max_configs:60_000 ~jobs
+        ~variant:Network.Config.policy_aware ~policy:parity
+        ~transducer:(Strategies.Broadcast.transducer comp_edges)
+        ~query:comp_edges ~input:crossed ())
+
+(* ------------------------------------------------------------------ *)
+(* Exporters round-trip *)
+
+let events_equal (a : Observe.Sink.event) (b : Observe.Sink.event) =
+  a.Observe.Sink.ts = b.Observe.Sink.ts
+  && a.Observe.Sink.dur = b.Observe.Sink.dur
+  && a.Observe.Sink.track = b.Observe.Sink.track
+  && a.Observe.Sink.cat = b.Observe.Sink.cat
+  && a.Observe.Sink.name = b.Observe.Sink.name
+  && List.length a.Observe.Sink.args = List.length b.Observe.Sink.args
+  && List.for_all2
+       (fun (k1, v1) (k2, v2) -> k1 = k2 && Observe.Json.equal v1 v2)
+       a.Observe.Sink.args b.Observe.Sink.args
+
+let test_sink_jsonl_roundtrip () =
+  let sink = Observe.Sink.create () in
+  Observe.Sink.record ~sink ~cat:"test"
+    ~args:[ ("k", Observe.Json.Int 3) ]
+    "instant";
+  Observe.Sink.span ~sink ~cat:"test" "outer" (fun () ->
+      Observe.Sink.record ~sink "inner");
+  let events = Observe.Sink.events sink in
+  check_bool "recorded 3 events" true (List.length events = 3);
+  match Observe.Sink.of_jsonl (Observe.Sink.to_jsonl events) with
+  | Error m -> Alcotest.fail m
+  | Ok events' ->
+    check_bool "same count" true (List.length events = List.length events');
+    List.iter2
+      (fun a b -> check_bool ("event " ^ a.Observe.Sink.name) true (events_equal a b))
+      events events'
+
+let test_chrome_export_valid () =
+  let sink = Observe.Sink.create () in
+  Observe.Sink.span ~sink ~cat:"net" "net.run" (fun () ->
+      Observe.Sink.record ~sink ~cat:"trace" "net.transition");
+  let doc = Observe.Sink.to_chrome (Observe.Sink.events sink) in
+  match Observe.Json.of_string doc with
+  | Error m -> Alcotest.failf "chrome export is not JSON: %s" m
+  | Ok j -> (
+    match Observe.Schema_check.validate_trace j with
+    | Ok () -> ()
+    | Error m -> Alcotest.failf "chrome export fails validation: %s" m)
+
+let test_trace_jsonl_roundtrip () =
+  let input = Graph_gen.of_edges [ (1, 2); (2, 3) ] in
+  let policy = Network.Policy.hash_fact Graph_gen.schema net2 in
+  let tracer = Network.Trace.collector () in
+  ignore
+    (Network.Run.run ~tracer ~variant:Network.Config.policy_aware ~policy
+       ~transducer:(Strategies.Broadcast.transducer Zoo.tc)
+       ~input Network.Run.Round_robin);
+  let events = Network.Trace.events tracer in
+  check_bool "trace has events" true (events <> []);
+  match Network.Trace.of_jsonl (Network.Trace.to_jsonl events) with
+  | Error m -> Alcotest.fail m
+  | Ok events' -> check_bool "trace roundtrip" true (events = events')
+
+(* ------------------------------------------------------------------ *)
+(* Validators: accept the real artifacts, reject tampering *)
+
+let test_validate_metrics () =
+  Observe.Metrics.reset Observe.Metrics.root;
+  ignore (Checker.check_exhaustive ~bounds:small Classes.Plain Zoo.tc);
+  let doc = Observe.Metrics.to_json Observe.Metrics.root in
+  (match Observe.Schema_check.validate_metrics doc with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "real snapshot rejected: %s" m);
+  let tamper f =
+    match doc with
+    | Observe.Json.Obj fields -> Observe.Json.Obj (f fields)
+    | _ -> Alcotest.fail "snapshot is not an object"
+  in
+  let wrong_schema =
+    tamper
+      (List.map (function
+        | ("schema", _) -> ("schema", Observe.Json.String "bogus/v9")
+        | kv -> kv))
+  in
+  check_bool "wrong schema tag rejected" true
+    (Result.is_error (Observe.Schema_check.validate_metrics wrong_schema));
+  let missing_metrics = tamper (List.remove_assoc "metrics") in
+  check_bool "missing metrics section rejected" true
+    (Result.is_error (Observe.Schema_check.validate_metrics missing_metrics));
+  let bad_row =
+    tamper
+      (List.map (function
+        | ("metrics", Observe.Json.List (Observe.Json.Obj row :: rest)) ->
+          ( "metrics",
+            Observe.Json.List
+              (Observe.Json.Obj
+                 (List.map
+                    (function
+                      | ("kind", _) -> ("kind", Observe.Json.String "sketch")
+                      | kv -> kv)
+                    row)
+              :: rest) )
+        | kv -> kv))
+  in
+  check_bool "unknown kind rejected" true
+    (Result.is_error (Observe.Schema_check.validate_metrics bad_row))
+
+let test_validate_bench () =
+  let open Observe.Json in
+  let good =
+    Obj
+      [
+        ("schema", String "calm-bench/v1");
+        ("quick", Bool true);
+        ("jobs", Int 2);
+        ( "experiments",
+          List
+            [
+              Obj
+                [
+                  ("id", String "E1");
+                  ("wall_s", Float 0.25);
+                  ("metrics", Obj [ ("monotone.probes", Int 12) ]);
+                ];
+            ] );
+      ]
+  in
+  (match Observe.Schema_check.validate_bench good with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "good bench doc rejected: %s" m);
+  let swap key value = function
+    | Obj fields ->
+      Obj (List.map (fun (k, v) -> if k = key then (k, value) else (k, v)) fields)
+    | j -> j
+  in
+  check_bool "empty experiments rejected" true
+    (Result.is_error
+       (Observe.Schema_check.validate_bench (swap "experiments" (List []) good)));
+  check_bool "negative wall rejected" true
+    (Result.is_error
+       (Observe.Schema_check.validate_bench
+          (swap "experiments"
+             (List
+                [
+                  Obj
+                    [
+                      ("id", String "E1");
+                      ("wall_s", Float (-1.0));
+                      ("metrics", Obj []);
+                    ];
+                ])
+             good)))
+
+(* ------------------------------------------------------------------ *)
+(* Regression: parallel sweeps carry traces *)
+
+let test_sweep_events_all_jobs () =
+  let input = Graph_gen.of_edges [ (1, 2); (2, 3) ] in
+  let policy = Network.Policy.hash_fact Graph_gen.schema net2 in
+  let cells =
+    [
+      ("rr", policy, Network.Run.Round_robin);
+      ("random", policy, Network.Run.Random { seed = 1; steps = 40 });
+      ("stingy", policy, Network.Run.Stingy { seed = 2; steps = 60 });
+    ]
+  in
+  let sweep jobs =
+    Network.Run.sweep ~jobs ~variant:Network.Config.policy_aware
+      ~transducer:(Strategies.Broadcast.transducer Zoo.tc)
+      ~input cells
+  in
+  let seq = sweep 1 in
+  List.iter
+    (fun (label, (r : Network.Run.result), events) ->
+      check_bool (label ^ ": cell has events") true (events <> []);
+      check_bool (label ^ ": one event per transition") true
+        (List.length events = r.Network.Run.transitions))
+    seq;
+  List.iter
+    (fun jobs ->
+      let par = sweep jobs in
+      check_bool
+        (Printf.sprintf "sweep results+events at jobs=%d = jobs=1" jobs)
+        true (par = seq))
+    job_counts
+
+(* ------------------------------------------------------------------ *)
+(* Regression: heartbeat prefixes report the steps they took *)
+
+let test_heartbeat_rounds () =
+  let input = Graph_gen.of_edges [ (1, 2); (2, 3) ] in
+  let policy = Network.Policy.hash_fact Graph_gen.schema net2 in
+  let r =
+    Network.Run.heartbeat_prefix ~variant:Network.Config.policy_aware ~policy
+      ~transducer:(Strategies.Broadcast.transducer Zoo.tc)
+      ~input ~node:(Value.Int 101) ()
+  in
+  check_bool "took at least one step" true (r.Network.Run.transitions > 0);
+  Alcotest.(check int)
+    "rounds = heartbeat steps" r.Network.Run.transitions
+    r.Network.Run.rounds;
+  check_bool "quiesced" true r.Network.Run.quiesced
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "observe"
+    [
+      ( "json",
+        [ Alcotest.test_case "roundtrip+rejects" `Quick test_json_roundtrip ] );
+      ( "determinism-wall",
+        [
+          Alcotest.test_case "sweep grid metrics" `Quick
+            test_sweep_metrics_jobs_invariant;
+          Alcotest.test_case "checker zoo metrics" `Slow
+            test_checker_metrics_jobs_invariant;
+          Alcotest.test_case "explore metrics" `Quick
+            test_explore_metrics_jobs_invariant;
+        ] );
+      ( "exporters",
+        [
+          Alcotest.test_case "sink jsonl roundtrip" `Quick
+            test_sink_jsonl_roundtrip;
+          Alcotest.test_case "chrome export validates" `Quick
+            test_chrome_export_valid;
+          Alcotest.test_case "run-trace jsonl roundtrip" `Quick
+            test_trace_jsonl_roundtrip;
+        ] );
+      ( "validators",
+        [
+          Alcotest.test_case "metrics accept/reject" `Quick
+            test_validate_metrics;
+          Alcotest.test_case "bench accept/reject" `Quick test_validate_bench;
+        ] );
+      ( "regressions",
+        [
+          Alcotest.test_case "sweep carries traces under jobs" `Quick
+            test_sweep_events_all_jobs;
+          Alcotest.test_case "heartbeat rounds" `Quick test_heartbeat_rounds;
+        ] );
+    ]
