@@ -11,6 +11,7 @@
      calm sweep     the policy × scheduler grid, optionally parallel
      calm netquery  "the network computes the query" verdict
      calm validate  schema-check emitted telemetry artifacts
+     calm bench-diff  stable-metric regression guard vs a baseline
 
    Programs use the conventional syntax (see lib/datalog/parser.mli);
    facts are given as 'E(1,2). E(2,3)'. *)
@@ -619,6 +620,117 @@ let validate_cmd =
     Term.(const run $ kind_term $ file_term)
 
 (* ------------------------------------------------------------------ *)
+(* calm bench-diff *)
+
+(* The regression guard for the bench trajectory: the stable metric rows
+   below are deterministic by construction (jobs- and cache-invariant),
+   so any drift against the committed baseline means the scan visited a
+   different pair stream, found different violations, or shrank to
+   different certificates — a semantic regression, not noise. Wall-clock
+   and volatile rows are never compared. *)
+let bench_diff_cmd =
+  let guard_metrics =
+    [
+      "monotone.probes";
+      "monotone.pairs_scanned";
+      "monotone.violations";
+      "monotone.counterexample_size";
+    ]
+  in
+  let baseline_term =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:"The committed calm-bench/v1 baseline to compare against.")
+  in
+  let file_term =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"The freshly produced bench --json file.")
+  in
+  let load file =
+    match Observe.Json.of_string (read_file file) with
+    | Error m ->
+      Printf.eprintf "%s: not valid JSON: %s\n" file m;
+      exit 1
+    | Ok j -> (
+      match Observe.Schema_check.validate_bench j with
+      | Error m ->
+        Printf.eprintf "%s: INVALID calm-bench/v1 artifact: %s\n" file m;
+        exit 1
+      | Ok () -> j)
+  in
+  let experiments j =
+    match Observe.Json.member "experiments" j with
+    | Some (Observe.Json.List es) ->
+      List.filter_map
+        (fun e ->
+          match
+            (Observe.Json.member "id" e, Observe.Json.member "metrics" e)
+          with
+          | Some (Observe.Json.String id), Some (Observe.Json.Obj ms) ->
+            Some (id, ms)
+          | _ -> None)
+        es
+    | _ -> []
+  in
+  let run baseline file =
+    let base = experiments (load baseline) in
+    let cur = experiments (load file) in
+    let compared = ref 0 in
+    let drifts = ref [] in
+    List.iter
+      (fun (id, bms) ->
+        match List.assoc_opt id cur with
+        | None -> ()
+        | Some cms ->
+          List.iter
+            (fun name ->
+              match List.assoc_opt name bms with
+              | None -> ()
+              | Some bv -> (
+                incr compared;
+                match List.assoc_opt name cms with
+                | Some cv when Observe.Json.equal bv cv -> ()
+                | cv ->
+                  let render = function
+                    | None -> "<missing>"
+                    | Some v -> Observe.Json.to_string v
+                  in
+                  drifts :=
+                    Printf.sprintf "%s/%s: baseline %s, got %s" id name
+                      (render (Some bv)) (render cv)
+                    :: !drifts))
+            guard_metrics)
+      base;
+    if !compared = 0 then begin
+      Printf.eprintf
+        "bench-diff: no guarded metric rows in common between %s and %s\n"
+        baseline file;
+      exit 1
+    end;
+    match List.rev !drifts with
+    | [] ->
+      Printf.printf
+        "bench-diff: %d stable metric rows match the baseline (%s)\n"
+        !compared baseline
+    | ds ->
+      Printf.eprintf "bench-diff: %d/%d stable metric rows drifted:\n"
+        (List.length ds) !compared;
+      List.iter (fun d -> Printf.eprintf "  %s\n" d) ds;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "bench-diff"
+       ~doc:
+         "compare a bench --json trajectory's stable metric rows (probes, \
+          pairs scanned, violations, counterexample sizes) against a \
+          committed baseline; exits 1 on any drift")
+    Term.(const run $ baseline_term $ file_term)
+
+(* ------------------------------------------------------------------ *)
 (* calm graph *)
 
 let graph_cmd =
@@ -820,6 +932,6 @@ let () =
        (Cmd.group info
           [
             eval_cmd; classify_cmd; check_cmd; simulate_cmd; run_cmd;
-            sweep_cmd; netquery_cmd; explore_cmd; validate_cmd; graph_cmd;
-            figure2_cmd; lint_cmd; certify_cmd;
+            sweep_cmd; netquery_cmd; explore_cmd; validate_cmd;
+            bench_diff_cmd; graph_cmd; figure2_cmd; lint_cmd; certify_cmd;
           ]))

@@ -5,7 +5,9 @@
 module Ast = Ast
 module Parser = Parser
 module Stratify = Stratify
+module Joindb = Joindb
 module Eval = Eval
+module Refeval = Refeval
 module Wellfounded = Wellfounded
 module Connectivity = Connectivity
 module Fragment = Fragment

@@ -2,70 +2,26 @@ open Relational
 
 exception Diverged
 
-let skolem_functor pred = "f_" ^ pred
+let skolem_functor = Joindb.skolem_functor
 
-module Env = Map.Make (String)
-module Smap = Map.Make (String)
+module Env = Joindb.Env
+module Smap = Joindb.Smap
 
-let default_neg j f = not (Instance.mem f j)
+let default_neg = Joindb.default_neg
 
-(* Telemetry (all stable): where the evaluator's work goes. Join probes
-   are counted locally per rule activation and committed in one
-   increment, so the hot nested-loop join pays one registry hit per rule
-   rather than one per candidate fact. *)
+(* Telemetry (all stable): where the evaluator's work goes. Counted
+   locally per rule activation and committed in one increment, so the hot
+   join loop pays one registry hit per rule rather than one per candidate
+   fact. [eval.index_hits] counts index probes that produced at least one
+   candidate; [eval.join_probes] counts the candidates examined — under
+   the indexed engine the latter is the post-hashing residue, not the
+   predicate's whole extent as in the seed nested-loop engine. *)
 let m_join_probes = Observe.Metrics.counter "eval.join_probes"
+let m_index_hits = Observe.Metrics.counter "eval.index_hits"
 let m_derived = Observe.Metrics.counter "eval.derived_facts"
 let m_rounds = Observe.Metrics.counter "eval.seminaive_rounds"
 let m_delta = Observe.Metrics.histogram "eval.delta_size"
 let m_fixpoint = Observe.Metrics.timing "eval.fixpoint"
-
-(* Predicate-indexed view of an instance, built once per fixpoint round so
-   atom matching does not rescan the whole fact set. *)
-let index i =
-  Instance.fold
-    (fun f m ->
-      Smap.update (Fact.rel f)
-        (function None -> Some [ f ] | Some l -> Some (f :: l))
-        m)
-    i Smap.empty
-
-let lookup idx pred = match Smap.find_opt pred idx with Some l -> l | None -> []
-
-let match_term env term value =
-  match (term : Ast.term) with
-  | Const c -> if Value.equal c value then Some env else None
-  | Var v -> (
-    match Env.find_opt v env with
-    | Some w -> if Value.equal w value then Some env else None
-    | None -> Some (Env.add v value env))
-
-let match_atom env (a : Ast.atom) (f : Fact.t) =
-  if Fact.rel f <> a.pred || Fact.arity f <> List.length a.terms then None
-  else
-    let rec go env i = function
-      | [] -> Some env
-      | t :: rest -> (
-        match match_term env t (Fact.arg f i) with
-        | None -> None
-        | Some env -> go env (i + 1) rest)
-    in
-    go env 0 a.terms
-
-let term_value env = function
-  | Ast.Const c -> c
-  | Ast.Var v -> (
-    match Env.find_opt v env with
-    | Some c -> c
-    | None -> invalid_arg "Eval: unbound variable in a checked position")
-
-(* Invention heads R(⋆, ū) ground to R(f_R(v̄), v̄): the Skolemization of
-   Section 5.2, with the functor applied to the remaining head
-   arguments. *)
-let ground_atom env (a : Ast.atom) =
-  let args = List.map (term_value env) a.terms in
-  if a.invents then
-    Fact.make a.pred (Value.Skolem (skolem_functor a.pred, args) :: args)
-  else Fact.make a.pred args
 
 (* Greedy join ordering: repeatedly pick the atom sharing the most
    variables with the already-bound set; prefer atoms with constants and
@@ -83,66 +39,72 @@ let reorder_body (r : Ast.rule) =
   let rec go bound remaining acc =
     match remaining with
     | [] -> List.rev acc
-    | _ ->
-      let best =
+    | first :: _ ->
+      (* Select by position, not physical identity: two structurally
+         equal occurrences of one atom must survive as two atoms. *)
+      let _, best_i, best =
         List.fold_left
-          (fun best a ->
-            match best with
-            | None -> Some a
-            | Some b -> if score bound a > score bound b then Some a else best)
-          None remaining
+          (fun (i, best_i, best) a ->
+            if score bound a > score bound best then (i + 1, i, a)
+            else (i + 1, best_i, best))
+          (1, 0, first) (List.tl remaining)
       in
-      let a = Option.get best in
-      let remaining = List.filter (fun x -> x != a) remaining in
-      go (Ast.vars_of_atom a @ bound) remaining (a :: acc)
+      let remaining = List.filteri (fun i _ -> i <> best_i) remaining in
+      go (Ast.vars_of_atom best @ bound) remaining (best :: acc)
   in
   { r with pos = go [] r.pos [] }
 
 let optimize p = List.map reorder_body p
 
+type stats = { mutable probes : int; mutable hits : int }
+
 (* Enumerate environments extending [env] satisfying the positive atoms;
-   atom number [idx] (if given) matches against [delta_idxed] instead of
-   the full index. [probes] tallies candidate-fact match attempts. *)
-let rec satisfy_pos probes db_idx delta_idx which i atoms env k =
-  match atoms with
-  | [] -> k env
-  | (a : Ast.atom) :: rest ->
-    let source = if Some i = which then delta_idx else db_idx in
+   atom number [idx] (if given) probes [delta] instead of the full
+   database. Each atom costs one index lookup plus a scan of the facts
+   agreeing with the bindings on its keyed positions. *)
+let rec satisfy stats plans which i n db delta env k =
+  if i = n then k env
+  else begin
+    let ap : Joindb.atom_plan = plans.(i) in
+    let source = if Some i = which then delta else db in
+    let key = Joindb.key_of_env env ap in
+    let candidates =
+      Joindb.probe source ap.pred ~arity:ap.arity
+        ~positions:ap.key_positions key
+    in
+    (match candidates with [] -> () | _ -> stats.hits <- stats.hits + 1);
     List.iter
       (fun f ->
-        incr probes;
-        match match_atom env a f with
+        stats.probes <- stats.probes + 1;
+        match Joindb.extend env ap.slots f with
         | None -> ()
-        | Some env' ->
-          satisfy_pos probes db_idx delta_idx which (i + 1) rest env' k)
-      (lookup source a.pred)
+        | Some env' -> satisfy stats plans which (i + 1) n db delta env' k)
+      candidates
+  end
 
-let checks_pass current neg env (r : Ast.rule) =
-  List.for_all
-    (fun (x, y) -> not (Value.equal (term_value env x) (term_value env y)))
-    r.ineq
-  && List.for_all (fun a -> neg current (ground_atom env a)) r.neg
-
-let derive_rule ~neg ~current ~db_idx ~delta_idx ~which (r : Ast.rule) acc =
+let derive_plan ~neg ~current ~db ~delta ~which (p : Joindb.plan) acc =
   let out = ref acc in
-  let probes = ref 0 in
-  satisfy_pos probes db_idx delta_idx which 0 r.pos Env.empty (fun env ->
-      if checks_pass current neg env r then
-        out := Instance.add (ground_atom env r.head) !out);
-  if !probes > 0 then Observe.Metrics.incr ~by:!probes m_join_probes;
+  let stats = { probes = 0; hits = 0 } in
+  let n = Array.length p.atoms in
+  satisfy stats p.atoms which 0 n db delta Env.empty (fun env ->
+      if Joindb.checks_pass current neg env p.rule then
+        out := Instance.add (Joindb.ground_atom env p.rule.head) !out);
+  if stats.probes > 0 then Observe.Metrics.incr ~by:stats.probes m_join_probes;
+  if stats.hits > 0 then Observe.Metrics.incr ~by:stats.hits m_index_hits;
   !out
 
-let derive ?(neg = default_neg) p j =
-  let idx = index j in
+let derive_plans ?(neg = default_neg) plans j =
+  let db = Joindb.of_instance j in
   let out =
     List.fold_left
-      (fun acc r ->
-        derive_rule ~neg ~current:j ~db_idx:idx ~delta_idx:Smap.empty
-          ~which:None r acc)
-      Instance.empty p
+      (fun acc p ->
+        derive_plan ~neg ~current:j ~db ~delta:Joindb.empty ~which:None p acc)
+      Instance.empty plans
   in
   Observe.Metrics.incr ~by:(Instance.cardinal out) m_derived;
   out
+
+let derive ?neg p j = derive_plans ?neg (Joindb.plan_program p) j
 
 let immediate_consequence ?neg p j = Instance.union j (derive ?neg p j)
 
@@ -152,9 +114,10 @@ let guard max_facts j =
   | _ -> ()
 
 let naive ?neg ?max_facts p i =
+  let plans = Joindb.plan_program p in
   let rec go j =
     guard max_facts j;
-    let j' = immediate_consequence ?neg p j in
+    let j' = Instance.union j (derive_plans ?neg plans j) in
     if Instance.equal j' j then j else go j'
   in
   go i
@@ -163,23 +126,24 @@ let naive ?neg ?max_facts p i =
    at least one positive atom in the delta. Negated predicates are fixed
    during a semi-positive fixpoint, so they take no part in deltas. *)
 let seminaive ?(neg = default_neg) ?max_facts p i =
-  let step db delta =
-    let db_idx = index db and delta_idx = index delta in
+  let plans = Joindb.plan_program p in
+  let step db_i delta_i =
+    let db = Joindb.of_instance db_i and delta = Joindb.of_instance delta_i in
     List.fold_left
-      (fun acc (r : Ast.rule) ->
-        let n = List.length r.pos in
+      (fun acc (p : Joindb.plan) ->
+        let n = Array.length p.atoms in
         let rec over_idx which acc =
           if which = n then acc
           else
             over_idx (which + 1)
-              (derive_rule ~neg ~current:db ~db_idx ~delta_idx
-                 ~which:(Some which) r acc)
+              (derive_plan ~neg ~current:db_i ~db ~delta ~which:(Some which) p
+                 acc)
         in
         over_idx 0 acc)
-      Instance.empty p
+      Instance.empty plans
   in
   Observe.Metrics.time m_fixpoint (fun () ->
-      let first = derive ~neg p i in
+      let first = derive_plans ~neg plans i in
       let rec go db delta =
         guard max_facts db;
         if Instance.is_empty delta then db

@@ -1,139 +1,71 @@
 open Relational
 
-module Env = Map.Make (String)
-module Smap = Map.Make (String)
+(* Set-at-a-time engine on the shared {!Joindb} substrate: the bindings
+   relation is materialized as a list of environments and joined with one
+   atom at a time through the database's positional hash indexes. Same
+   plans, same probes as {!Eval}; only the loop structure differs
+   (breadth-first binding lists vs depth-first continuations), which is
+   the point of the E20 comparison bench. *)
 
-let default_neg j f = not (Instance.mem f j)
+module Env = Joindb.Env
 
-let index i =
-  Instance.fold
-    (fun f m ->
-      Smap.update (Fact.rel f)
-        (function None -> Some [ f ] | Some l -> Some (f :: l))
-        m)
-    i Smap.empty
+let join_atom db envs (ap : Joindb.atom_plan) =
+  List.concat_map
+    (fun env ->
+      Joindb.probe db ap.pred ~arity:ap.arity ~positions:ap.key_positions
+        (Joindb.key_of_env env ap)
+      |> List.filter_map (fun f -> Joindb.extend env ap.slots f))
+    envs
 
-let lookup idx pred = match Smap.find_opt pred idx with Some l -> l | None -> []
-
-let term_value env = function
-  | Ast.Const c -> Some c
-  | Ast.Var v -> Env.find_opt v env
-
-let term_value_exn env t =
-  match term_value env t with
-  | Some c -> c
-  | None -> invalid_arg "Hashjoin: unbound variable in a checked position"
-
-let ground_atom env (a : Ast.atom) =
-  let args = List.map (term_value_exn env) a.terms in
-  if a.invents then
-    Fact.make a.pred (Value.Skolem (Eval.skolem_functor a.pred, args) :: args)
-  else Fact.make a.pred args
-
-(* Join the current bindings with one atom: hash the atom's facts on the
-   positions of already-bound variables (and constants), probe with each
-   binding, and extend it with the atom's free variables. *)
-let join_atom envs (a : Ast.atom) facts =
-  match envs with
-  | [] -> []
-  | sample_env :: _ ->
-    let bound v = Env.mem v sample_env in
-    (* Key positions: term index list whose value is determined by the
-       current bindings (constants or bound variables). All bindings in
-       [envs] share the same domain, so sampling one is enough. *)
-    let keyed =
-      List.mapi (fun i t -> (i, t)) a.terms
-      |> List.filter (fun (_, t) ->
-             match t with Ast.Const _ -> true | Ast.Var v -> bound v)
-    in
-    let key_of_fact f = List.map (fun (i, _) -> Fact.arg f i) keyed in
-    let tbl = Hashtbl.create 64 in
-    List.iter
-      (fun f ->
-        if Fact.arity f = List.length a.terms then begin
-          (* A fact must also be self-consistent with repeated free
-             variables; checked during extension below. *)
-          Hashtbl.add tbl (key_of_fact f) f
-        end)
-      facts;
-    let key_of_env env =
-      List.map (fun (_, t) -> term_value_exn env t) keyed
-    in
-    let extend env f =
-      (* Bind free variables; fail on clashes between repeated free
-         variables in the atom. *)
-      let rec go env i = function
-        | [] -> Some env
-        | Ast.Const _ :: rest -> go env (i + 1) rest
-        | Ast.Var v :: rest -> (
-          let value = Fact.arg f i in
-          match Env.find_opt v env with
-          | Some w ->
-            if Value.equal w value then go env (i + 1) rest else None
-          | None -> go (Env.add v value env) (i + 1) rest)
-      in
-      go env 0 a.terms
-    in
-    List.concat_map
-      (fun env ->
-        Hashtbl.find_all tbl (key_of_env env)
-        |> List.filter_map (extend env))
-      envs
-
-let checks_pass current neg env (r : Ast.rule) =
-  List.for_all
-    (fun (x, y) ->
-      not (Value.equal (term_value_exn env x) (term_value_exn env y)))
-    r.ineq
-  && List.for_all (fun a -> neg current (ground_atom env a)) r.neg
-
-let derive_rule ~neg ~current ~db_idx ~delta_idx ~which (r : Ast.rule) acc =
+let derive_plan ~neg ~current ~db ~delta ~which (p : Joindb.plan) acc =
   let envs =
-    List.fold_left
-      (fun (i, envs) (a : Ast.atom) ->
-        let source = if Some i = which then delta_idx else db_idx in
-        (i + 1, join_atom envs a (lookup source a.pred)))
-      (0, [ Env.empty ])
-      r.pos
+    Array.to_list p.atoms
+    |> List.fold_left
+         (fun (i, envs) ap ->
+           let source = if Some i = which then delta else db in
+           (i + 1, join_atom source envs ap))
+         (0, [ Env.empty ])
     |> snd
   in
   List.fold_left
     (fun acc env ->
-      if checks_pass current neg env r then
-        Instance.add (ground_atom env r.head) acc
+      if Joindb.checks_pass current neg env p.rule then
+        Instance.add (Joindb.ground_atom env p.rule.head) acc
       else acc)
     acc envs
 
-let derive ?(neg = default_neg) p j =
-  let idx = index j in
+let derive_plans ?(neg = Joindb.default_neg) plans j =
+  let db = Joindb.of_instance j in
   List.fold_left
-    (fun acc r ->
-      derive_rule ~neg ~current:j ~db_idx:idx ~delta_idx:Smap.empty
-        ~which:None r acc)
-    Instance.empty p
+    (fun acc p ->
+      derive_plan ~neg ~current:j ~db ~delta:Joindb.empty ~which:None p acc)
+    Instance.empty plans
+
+let derive ?neg p j = derive_plans ?neg (Joindb.plan_program p) j
 
 let guard max_facts j =
   match max_facts with
   | Some budget when Instance.cardinal j > budget -> raise Eval.Diverged
   | _ -> ()
 
-let seminaive ?(neg = default_neg) ?max_facts p i =
-  let step db delta =
-    let db_idx = index db and delta_idx = index delta in
+let seminaive ?(neg = Joindb.default_neg) ?max_facts p i =
+  let plans = Joindb.plan_program p in
+  let step db_i delta_i =
+    let db = Joindb.of_instance db_i and delta = Joindb.of_instance delta_i in
     List.fold_left
-      (fun acc (r : Ast.rule) ->
-        let n = List.length r.pos in
+      (fun acc (p : Joindb.plan) ->
+        let n = Array.length p.atoms in
         let rec over_idx which acc =
           if which = n then acc
           else
             over_idx (which + 1)
-              (derive_rule ~neg ~current:db ~db_idx ~delta_idx
-                 ~which:(Some which) r acc)
+              (derive_plan ~neg ~current:db_i ~db ~delta ~which:(Some which) p
+                 acc)
         in
         over_idx 0 acc)
-      Instance.empty p
+      Instance.empty plans
   in
-  let first = derive ~neg p i in
+  let first = derive_plans ~neg plans i in
   let rec go db delta =
     guard max_facts db;
     if Instance.is_empty delta then db

@@ -1,0 +1,173 @@
+open Relational
+
+(* The shared join substrate of both evaluation engines.
+
+   A [Joindb.t] is a per-predicate view of an instance whose indexes are
+   built lazily, one per (arity, bound-position set) actually probed: an
+   atom with k determinate terms (constants or already-bound variables)
+   is answered by hashing those k values instead of scanning every fact
+   of the predicate. Which positions are determinate is a static property
+   of the rule — it depends only on the atoms preceding the probe, never
+   on the data — so it is computed once per rule as a [plan] and the
+   index for a position set is shared by every probe of the fixpoint.
+
+   This module subsumes the seed's duplicated [index]/[term_value]/
+   [ground_atom] machinery from [eval.ml] and [hashjoin.ml]; both engines
+   now differ only in how they drive the probe loop (depth-first
+   continuations vs set-at-a-time binding lists). *)
+
+module Env = Map.Make (String)
+module Smap = Map.Make (String)
+
+let default_neg j f = not (Instance.mem f j)
+
+(* ------------------------------------------------------------------ *)
+(* Storage *)
+
+module Key = struct
+  type t = Value.t list
+
+  let equal = List.equal Value.equal
+
+  let hash k =
+    List.fold_left (fun acc v -> (acc * 486187739) + Value.hash v) 17 k
+end
+
+module Ktbl = Hashtbl.Make (Key)
+
+type rel = {
+  facts : Fact.t list;
+  mutable indexes : ((int * int list) * Fact.t Ktbl.t) list;
+      (* keyed by (arity, key positions); a handful per predicate, so an
+         association list beats a nested hash table. *)
+}
+
+type t = rel Smap.t
+
+let empty : t = Smap.empty
+
+let of_instance i : t =
+  Instance.fold
+    (fun f m ->
+      Smap.update (Fact.rel f)
+        (function
+          | None -> Some { facts = [ f ]; indexes = [] }
+          | Some r -> Some { r with facts = f :: r.facts })
+        m)
+    i Smap.empty
+
+let index_for r ~arity ~positions =
+  match List.assoc_opt (arity, positions) r.indexes with
+  | Some idx -> idx
+  | None ->
+    let idx = Ktbl.create 64 in
+    List.iter
+      (fun f ->
+        if Fact.arity f = arity then
+          Ktbl.add idx (List.map (Fact.arg f) positions) f)
+      r.facts;
+    r.indexes <- ((arity, positions), idx) :: r.indexes;
+    idx
+
+let probe (db : t) pred ~arity ~positions key =
+  match Smap.find_opt pred db with
+  | None -> []
+  | Some r -> Ktbl.find_all (index_for r ~arity ~positions) key
+
+(* ------------------------------------------------------------------ *)
+(* Terms and grounding *)
+
+let term_value env = function
+  | Ast.Const c -> c
+  | Ast.Var v -> (
+    match Env.find_opt v env with
+    | Some c -> c
+    | None -> invalid_arg "Joindb: unbound variable in a checked position")
+
+let skolem_functor pred = "f_" ^ pred
+
+(* Invention heads R(⋆, ū) ground to R(f_R(v̄), v̄): the Skolemization of
+   Section 5.2, with the functor applied to the remaining head
+   arguments. *)
+let ground_atom env (a : Ast.atom) =
+  let args = List.map (term_value env) a.terms in
+  if a.invents then
+    Fact.make a.pred (Value.Skolem (skolem_functor a.pred, args) :: args)
+  else Fact.make a.pred args
+
+let checks_pass current neg env (r : Ast.rule) =
+  List.for_all
+    (fun (x, y) -> not (Value.equal (term_value env x) (term_value env y)))
+    r.ineq
+  && List.for_all (fun a -> neg current (ground_atom env a)) r.neg
+
+(* ------------------------------------------------------------------ *)
+(* Rule plans *)
+
+(* How to process one candidate fact after the index probe: keyed
+   positions already matched by hashing, so only the free positions
+   remain — bind first occurrences, check repeats. *)
+type slot =
+  | Bind of int * string
+  | Check of int * string
+
+type atom_plan = {
+  pred : string;
+  arity : int;
+  key_positions : int list;
+  key_terms : Ast.term list;  (* aligned with [key_positions] *)
+  slots : slot list;
+}
+
+type plan = {
+  rule : Ast.rule;
+  atoms : atom_plan array;
+}
+
+let plan_atom bound (a : Ast.atom) =
+  let keyed = ref [] and slots = ref [] and fresh = ref [] in
+  List.iteri
+    (fun i t ->
+      match t with
+      | Ast.Const _ -> keyed := (i, t) :: !keyed
+      | Ast.Var v ->
+        if List.mem v bound then keyed := (i, t) :: !keyed
+        else if List.mem v !fresh then slots := Check (i, v) :: !slots
+        else begin
+          fresh := v :: !fresh;
+          slots := Bind (i, v) :: !slots
+        end)
+    a.terms;
+  let keyed = List.rev !keyed in
+  ( {
+      pred = a.pred;
+      arity = List.length a.terms;
+      key_positions = List.map fst keyed;
+      key_terms = List.map snd keyed;
+      slots = List.rev !slots;
+    },
+    !fresh )
+
+let plan_rule (r : Ast.rule) =
+  let atoms, _ =
+    List.fold_left
+      (fun (acc, bound) a ->
+        let ap, fresh = plan_atom bound a in
+        (ap :: acc, fresh @ bound))
+      ([], []) r.pos
+  in
+  { rule = r; atoms = Array.of_list (List.rev atoms) }
+
+let plan_program p = List.map plan_rule p
+
+let key_of_env env ap = List.map (term_value env) ap.key_terms
+
+let extend env slots f =
+  let rec go env = function
+    | [] -> Some env
+    | Bind (i, v) :: rest -> go (Env.add v (Fact.arg f i) env) rest
+    | Check (i, v) :: rest ->
+      if Value.equal (Fact.arg f i) (Env.find v env) then go env rest
+      else None
+  in
+  go env slots

@@ -15,46 +15,100 @@ type bounds = {
 
 let default_bounds = { dom_size = 3; fresh = 2; max_base = 4; max_ext = 2 }
 
-(* Telemetry. [monotone.probes] is incremented inside the probe, so on
-   the parallel path it is committed through the pool's per-task buffers:
-   only probes at indices up to the winning counterexample count, making
-   the value identical to the sequential scan's. The remaining stable
-   rows are derived from the (deterministic) outcome; wall-clock goes to
-   the volatile [monotone.scan] timing. *)
+(* Telemetry. [monotone.probes] and [monotone.cache_hits] are
+   incremented inside the per-base group probe, so on the parallel path
+   they are committed through the pool's per-task buffers: only groups
+   at indices up to the winning counterexample count (the winning group
+   itself stops at its first in-group violation), making the values
+   identical to the sequential scan's. The remaining stable rows are
+   derived from the (deterministic) outcome; wall-clock goes to the
+   volatile [monotone.scan] timing. *)
 let m_probes = Observe.Metrics.counter "monotone.probes"
 let m_pairs = Observe.Metrics.counter "monotone.pairs_scanned"
+let m_cache_hits = Observe.Metrics.counter "monotone.cache_hits"
 let m_violations = Observe.Metrics.counter "monotone.violations"
 let m_cert_size = Observe.Metrics.histogram "monotone.counterexample_size"
 let m_scan = Observe.Metrics.timing "monotone.scan"
 
-(* Scan the (base, extension) stream for a violation. With [jobs > 1]
-   the probes fan out across a Domain pool; the search is cancelled as
-   soon as any worker finds a violation, but the reported violation is
-   always the first one in enumeration order, so certificates (and their
-   shrunken forms) are reproducible independently of [jobs]. *)
-let scan ?jobs kind q pairs =
-  let probe (base, extension) =
-    Observe.Metrics.incr m_probes;
-    Classes.check_pair kind q ~base ~extension
+(* Probe one base's admissible extensions left to right, stopping at the
+   first violation. This is where the cross-probe cache lives: [Q(base)]
+   is evaluated once per base rather than once per pair; every probe
+   after the first within a group is a cache hit. When [Q(base)] is
+   empty no extension can lose a fact ([diff before after ⊆ before]), so
+   the second evaluation is skipped outright — the probes are still
+   counted, keeping [monotone.probes]/[pairs_scanned] byte-identical to
+   the pair-at-a-time scan's. With [cache = false] the probe recomputes
+   [Q(base)] per pair (the seed's behaviour); verdicts and certificates
+   are identical either way, which the test wall pins. *)
+let probe_group ~cache kind q (base, exts) =
+  let probe =
+    if cache then begin
+      let before = Query.apply q base in
+      if Instance.is_empty before then fun _ -> None
+      else Classes.stage ~before kind q ~base
+    end
+    else
+      fun extension ->
+        let before = Query.apply q base in
+        if Instance.is_empty before then None
+        else Classes.check_extension ~before kind q ~base ~extension
   in
+  let scanned = ref 0 in
+  let found = ref None in
+  let rec go s =
+    match s () with
+    | Seq.Nil -> ()
+    | Seq.Cons (extension, rest) -> (
+      incr scanned;
+      Observe.Metrics.incr m_probes;
+      if cache && !scanned > 1 then Observe.Metrics.incr m_cache_hits;
+      match probe extension with
+      | Some v -> found := Some v
+      | None -> go rest)
+  in
+  go exts;
+  (!scanned, !found)
+
+(* Scan a per-base grouped (base, extensions) stream for a violation.
+   Groups preserve pair enumeration order, so "first violation in group
+   order, scanning within each group sequentially" is the first
+   violation in pair order. With [jobs > 1] the groups fan out across a
+   Domain pool; the search is cancelled as soon as any worker finds a
+   violation, but the reported violation is always the first one in
+   enumeration order, so certificates (and their shrunken forms) are
+   reproducible independently of [jobs]. *)
+let scan ?jobs ?(cache = true) kind q groups =
   let outcome =
     Observe.Metrics.time m_scan (fun () ->
         match jobs with
         | Some j when j > 1 ->
+          (* Pair tallies live outside the pool's metric buffers: the
+             total is only read on [Exhausted], when every group has
+             completed, so the sum is independent of scheduling. *)
+          let pairs = Atomic.make 0 in
+          let probe group =
+            let scanned, v = probe_group ~cache kind q group in
+            (match v with
+            | None -> ignore (Atomic.fetch_and_add pairs scanned)
+            | Some _ -> ());
+            v
+          in
           Parallel.Pool.with_pool ~jobs:j (fun pool ->
-              match Parallel.Pool.search pool probe pairs with
+              match Parallel.Pool.search pool probe groups with
               | Parallel.Pool.Found v -> Violated v
-              | Parallel.Pool.Exhausted pairs -> No_violation { pairs })
+              | Parallel.Pool.Exhausted _ ->
+                No_violation { pairs = Atomic.get pairs })
         | _ ->
           let count = ref 0 in
           let rec go s =
             match s () with
             | Seq.Nil -> No_violation { pairs = !count }
-            | Seq.Cons (pair, rest) -> (
-              incr count;
-              match probe pair with Some v -> Violated v | None -> go rest)
+            | Seq.Cons (group, rest) -> (
+              let scanned, v = probe_group ~cache kind q group in
+              count := !count + scanned;
+              match v with Some v -> Violated v | None -> go rest)
           in
-          go pairs)
+          go groups)
   in
   (match outcome with
   | No_violation { pairs } -> Observe.Metrics.incr ~by:pairs m_pairs
@@ -66,29 +120,34 @@ let scan ?jobs kind q pairs =
          + Instance.cardinal v.Classes.extension)));
   outcome
 
-let check_exhaustive ?(bounds = default_bounds) ?schema ?jobs kind q =
+(* The pair streams were already generated base-major; the checkers now
+   keep that grouping explicit — each group is one base with the lazy
+   sequence of its admissible extensions ({!Enumerate.extensions}
+   guarantees admissibility per kind, so the probe skips re-checking). *)
+
+let check_exhaustive ?(bounds = default_bounds) ?schema ?jobs ?cache kind q =
   let schema = Option.value schema ~default:q.Query.input in
   let dom = Enumerate.value_pool bounds.dom_size in
   let fresh = Enumerate.fresh_pool bounds.fresh in
-  let pairs =
+  let groups =
     Enumerate.instances schema ~dom ~max_facts:bounds.max_base
-    |> Seq.concat_map (fun base ->
-           Enumerate.extensions kind ~base ~schema ~fresh
-             ~max_size:bounds.max_ext
-           |> Seq.map (fun ext -> (base, ext)))
+    |> Seq.map (fun base ->
+           ( base,
+             Enumerate.extensions kind ~base ~schema ~fresh
+               ~max_size:bounds.max_ext ))
   in
-  scan ?jobs kind q pairs
+  scan ?jobs ?cache kind q groups
 
-let check_on_bases ?(fresh = 2) ?(max_ext = 2) ?jobs kind q bases =
+let check_on_bases ?(fresh = 2) ?(max_ext = 2) ?jobs ?cache kind q bases =
   let fresh = Enumerate.fresh_pool fresh in
-  let pairs =
+  let groups =
     List.to_seq bases
-    |> Seq.concat_map (fun base ->
-           Enumerate.extensions kind ~base ~schema:q.Query.input ~fresh
-             ~max_size:max_ext
-           |> Seq.map (fun ext -> (base, ext)))
+    |> Seq.map (fun base ->
+           ( base,
+             Enumerate.extensions kind ~base ~schema:q.Query.input ~fresh
+               ~max_size:max_ext ))
   in
-  scan ?jobs kind q pairs
+  scan ?jobs ?cache kind q groups
 
 let random_instance st schema ~dom ~max_facts =
   let dom = Array.of_list dom in
@@ -133,12 +192,16 @@ let random_extension st kind schema ~base ~fresh ~max_size =
     |> fun i -> Instance.diff i base
 
 let check_random ?(seed = 17) ?(trials = 500) ?(bounds = default_bounds)
-    ?schema ?jobs kind q =
+    ?schema ?jobs ?cache kind q =
   let schema = Option.value schema ~default:q.Query.input in
   let st = Random.State.make [| seed |] in
   let dom = Enumerate.value_pool bounds.dom_size in
   let fresh = Enumerate.fresh_pool bounds.fresh in
-  let pairs =
+  (* Singleton groups: random bases repeat too rarely to cache across,
+     and drawing from [st] must stay in the outer sequence, which the
+     pool forces under its lock in enumeration order. The extension is
+     materialized eagerly here for the same reason. *)
+  let groups =
     Seq.init trials (fun _ ->
         let base = random_instance st schema ~dom ~max_facts:bounds.max_base in
         let extension =
@@ -149,10 +212,12 @@ let check_random ?(seed = 17) ?(trials = 500) ?(bounds = default_bounds)
     |> Seq.filter (fun (base, extension) ->
            (not (Instance.is_empty extension))
            && Classes.admissible kind ~base ~extension)
+    |> Seq.map (fun (base, extension) -> (base, Seq.return extension))
   in
-  scan ?jobs kind q pairs
+  scan ?jobs ?cache kind q groups
 
-let ladder ?fresh ?bases ?(bounds = default_bounds) ?jobs kind ~max_i q =
+let ladder ?fresh ?bases ?(bounds = default_bounds) ?jobs ?cache kind ~max_i q
+    =
   List.init max_i (fun k ->
       let i = k + 1 in
       let m_bound =
@@ -162,9 +227,12 @@ let ladder ?fresh ?bases ?(bounds = default_bounds) ?jobs kind ~max_i q =
       in
       Observe.Metrics.time m_bound (fun () ->
           match bases with
-          | Some bases -> check_on_bases ?fresh ~max_ext:i ?jobs kind q bases
+          | Some bases ->
+            check_on_bases ?fresh ~max_ext:i ?jobs ?cache kind q bases
           | None ->
-            check_exhaustive ~bounds:{ bounds with max_ext = i } ?jobs kind q))
+            check_exhaustive
+              ~bounds:{ bounds with max_ext = i }
+              ?jobs ?cache kind q))
 
 type placement = {
   plain : outcome;
@@ -172,11 +240,13 @@ type placement = {
   disjoint : outcome;
 }
 
-let place ?bounds ?schema ?jobs q =
+let place ?bounds ?schema ?jobs ?cache q =
   {
-    plain = check_exhaustive ?bounds ?schema ?jobs Classes.Plain q;
-    distinct = check_exhaustive ?bounds ?schema ?jobs Classes.Distinct q;
-    disjoint = check_exhaustive ?bounds ?schema ?jobs Classes.Disjoint q;
+    plain = check_exhaustive ?bounds ?schema ?jobs ?cache Classes.Plain q;
+    distinct =
+      check_exhaustive ?bounds ?schema ?jobs ?cache Classes.Distinct q;
+    disjoint =
+      check_exhaustive ?bounds ?schema ?jobs ?cache Classes.Disjoint q;
   }
 
 let strongest p =

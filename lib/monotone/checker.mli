@@ -26,18 +26,26 @@ val default_bounds : bounds
 (** [{ dom_size = 3; fresh = 2; max_base = 4; max_ext = 2 }]. *)
 
 val check_exhaustive :
-  ?bounds:bounds -> ?schema:Schema.t -> ?jobs:int ->
+  ?bounds:bounds -> ?schema:Schema.t -> ?jobs:int -> ?cache:bool ->
   Classes.kind -> Query.t -> outcome
 (** Tries every base over the (input) schema within bounds, and every
     admissible extension of it. [schema] defaults to the query's input
-    schema. With [jobs > 1] the (base, extension) probes fan out across
+    schema. With [jobs > 1] the per-base groups of probes fan out across
     that many domains; the verdict — including the certificate and the
     pair count — is identical to the sequential one, because the search
-    reports the first violation in enumeration order. *)
+    reports the first violation in enumeration order.
+
+    The scan is grouped per base: [Q(base)] is evaluated once and every
+    admissible extension of that base is probed against it ([cache],
+    default [true]; when [Q(base)] is empty the extensions are counted
+    but not evaluated at all, since an empty output cannot lose facts).
+    [~cache:false] recomputes [Q(base)] per pair — same verdicts, same
+    certificates, same [monotone.probes]/[pairs_scanned]; only
+    [monotone.cache_hits] and wall-clock differ. *)
 
 val check_on_bases :
-  ?fresh:int -> ?max_ext:int -> ?jobs:int -> Classes.kind -> Query.t ->
-  Instance.t list -> outcome
+  ?fresh:int -> ?max_ext:int -> ?jobs:int -> ?cache:bool ->
+  Classes.kind -> Query.t -> Instance.t list -> outcome
 (** Exhaustive extensions over user-supplied base instances — used when
     the interesting bases are known (e.g. the paper's counterexample
     constructions) and full enumeration would be too wide. *)
@@ -48,14 +56,14 @@ val random_instance :
 
 val check_random :
   ?seed:int -> ?trials:int -> ?bounds:bounds -> ?schema:Schema.t ->
-  ?jobs:int -> Classes.kind -> Query.t -> outcome
+  ?jobs:int -> ?cache:bool -> Classes.kind -> Query.t -> outcome
 (** Randomized pairs: random base, random admissible extension. The pair
     stream is drawn from the seeded RNG in enumeration order even under
     [jobs > 1], so the verdict does not depend on [jobs]. *)
 
 val ladder :
   ?fresh:int -> ?bases:Instance.t list -> ?bounds:bounds -> ?jobs:int ->
-  Classes.kind -> max_i:int -> Query.t -> outcome list
+  ?cache:bool -> Classes.kind -> max_i:int -> Query.t -> outcome list
 (** The bounded profile [M¹ₖ, M²ₖ, ..., Mᵐᵃˣₖ] of a query (Figure 1's
     bounded ladders): element [i-1] checks the class with extensions of
     size at most [i], over the given bases ({!check_on_bases}) or
@@ -69,7 +77,8 @@ type placement = {
 }
 
 val place :
-  ?bounds:bounds -> ?schema:Schema.t -> ?jobs:int -> Query.t -> placement
+  ?bounds:bounds -> ?schema:Schema.t -> ?jobs:int -> ?cache:bool ->
+  Query.t -> placement
 (** Runs {!check_exhaustive} for all three kinds. *)
 
 val strongest : placement -> string

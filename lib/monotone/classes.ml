@@ -36,14 +36,18 @@ let pp_violation ppf v =
     (match v.bound with None -> "" | Some i -> Printf.sprintf "^%d" i)
     Instance.pp v.base Instance.pp v.extension Fact.pp v.missing
 
-let check_pair kind q ~base ~extension =
-  if not (admissible kind ~base ~extension) then None
-  else
-    let before = Query.apply q base in
-    let after = Query.apply q (Instance.union base extension) in
-    match Instance.to_list (Instance.diff before after) with
-    | [] -> None
-    | missing :: _ ->
+(* Probe admissible extensions of one base against a precomputed
+   [before = Q(base)]. [Query.stage] answers each probe with the least
+   fact of [before] outside [Q(base ∪ extension)] — the head of
+   [diff before after] — so the certificate is the one the seed's
+   diff-based probe produced, whether the query answers through a
+   witness or by evaluating. *)
+let stage ~before kind q ~base =
+  let probe = Query.stage q ~base ~expected:before in
+  fun extension ->
+    match probe extension with
+    | None -> None
+    | Some missing ->
       Some
         {
           kind;
@@ -52,3 +56,15 @@ let check_pair kind q ~base ~extension =
           extension;
           missing;
         }
+
+let check_extension ~before kind q ~base ~extension =
+  stage ~before kind q ~base extension
+
+let check_pair kind q ~base ~extension =
+  if not (admissible kind ~base ~extension) then None
+  else
+    let before = Query.apply q base in
+    (* Monotone in the trivial direction: an empty [before] cannot lose
+       facts, so no extension violates — skip the second evaluation. *)
+    if Instance.is_empty before then None
+    else check_extension ~before kind q ~base ~extension

@@ -1,6 +1,7 @@
 (** The paper's query zoo and graph generators. *)
 
 module Graph_gen = Graph_gen
+module Graph_kernel = Graph_kernel
 module Zoo = Zoo
 module Wilog_zoo = Wilog_zoo
 module Games = Games

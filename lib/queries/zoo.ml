@@ -111,13 +111,62 @@ let facts_of_pairs rel ps =
     (fun (a, b) acc -> Instance.add (Fact.make rel [ a; b ]) acc)
     ps Instance.empty
 
+(* Staged witness fast paths (see {!Relational.Query.t.witness}): the
+   least fact of [expected] outside [Q(base ∪ ext)], answered on the
+   int-interned kernel without materializing [Q]. Staging interns the
+   base and resolves [expected] against it once; each probe re-interns
+   only the extension's few facts ({!Graph_kernel.extend} keeps base
+   vertex numbers valid). [Instance.to_list] is in ascending fact order,
+   so the first failing fact is the head of [diff expected Q(...)] — the
+   certificate the evaluating route picks. [Graph_kernel.of_rel] keeps
+   only the arity-2 facts of the relation, which is exactly the
+   input-schema restriction the evaluating route applies. *)
+
+let first_failing resolved member =
+  List.find_map (fun entry -> if member entry then None else Some (fst entry))
+    resolved
+
+(* Resolve an expected fact's values to base vertex numbers at staging
+   time; [-1] falls back to a lookup in the extended graph per probe
+   (the value can enter through the extension). *)
+let resolve2 gb expected =
+  List.map
+    (fun f ->
+      let a = Fact.arg f 0 and b = Fact.arg f 1 in
+      (f, ((a, Graph_kernel.vertex gb a), (b, Graph_kernel.vertex gb b))))
+    (Instance.to_list expected)
+
+let lookup g (v, v0) = if v0 >= 0 then v0 else Graph_kernel.vertex g v
+
+let tc_witness ~base ~expected =
+  let gb = Graph_kernel.of_rel "E" base in
+  let exp = resolve2 gb expected in
+  fun ext ->
+    let g = Graph_kernel.extend gb "E" ext in
+    let reaches = Graph_kernel.reacher g in
+    first_failing exp (fun (_, (a, b)) ->
+        let va = lookup g a and vb = lookup g b in
+        va >= 0 && vb >= 0 && reaches va vb)
+
 let tc =
-  Query.make ~name:"tc" ~input:graph_schema
+  Query.make ~witness:tc_witness ~name:"tc" ~input:graph_schema
     ~output:(Schema.of_list [ ("T", 2) ])
     (fun i -> facts_of_pairs "T" (reachable_pairs i))
 
+(* The active domain of an [E]-only instance is its endpoint set, i.e.
+   the kernel's vertex set. *)
+let comp_tc_witness ~base ~expected =
+  let gb = Graph_kernel.of_rel "E" base in
+  let exp = resolve2 gb expected in
+  fun ext ->
+    let g = Graph_kernel.extend gb "E" ext in
+    let reaches = Graph_kernel.reacher g in
+    first_failing exp (fun (_, (a, b)) ->
+        let va = lookup g a and vb = lookup g b in
+        va >= 0 && vb >= 0 && not (reaches va vb))
+
 let comp_tc =
-  Query.make ~name:"comp-tc" ~input:graph_schema
+  Query.make ~witness:comp_tc_witness ~name:"comp-tc" ~input:graph_schema
     ~output:(Schema.of_list [ ("O", 2) ])
     (fun i ->
       let reach = reachable_pairs i in
@@ -186,8 +235,63 @@ let q_duplicate j =
           i Instance.empty
       else Instance.empty)
 
+(* Triangles of the extended graph as vertex triples, plus whether two of
+   them share no vertex — the same cyclic enumeration as {!triangles}
+   (rotations repeat a triple, which cannot affect the disjointness
+   test). *)
+let tri2d_witness ~base ~expected =
+  let gb = Graph_kernel.of_rel "E" base in
+  let exp =
+    List.map
+      (fun f ->
+        let x = Fact.arg f 0 and y = Fact.arg f 1 and z = Fact.arg f 2 in
+        ( f,
+          ( (x, Graph_kernel.vertex gb x),
+            (y, Graph_kernel.vertex gb y),
+            (z, Graph_kernel.vertex gb z) ) ))
+      (Instance.to_list expected)
+  in
+  fun ext ->
+    let g = Graph_kernel.extend gb "E" ext in
+    let n = g.Graph_kernel.n in
+    let adj = g.Graph_kernel.adj in
+    let mat = Array.make (n * n) false in
+    Array.iteri
+      (fun x ys -> List.iter (fun y -> mat.((x * n) + y) <- true) ys)
+      adj;
+    let tris = ref [] in
+    Array.iteri
+      (fun x ys ->
+        List.iter
+          (fun y ->
+            if x <> y then
+              List.iter
+                (fun z ->
+                  if z <> y && z <> x && mat.((z * n) + x) then
+                    tris := (x, y, z) :: !tris)
+                adj.(y))
+          ys)
+      adj;
+    let disjoint (a, b, c) (d, e, f) =
+      a <> d && a <> e && a <> f && b <> d && b <> e && b <> f && c <> d
+      && c <> e && c <> f
+    in
+    let two_disjoint =
+      List.exists (fun t1 -> List.exists (fun t2 -> disjoint t1 t2) !tris)
+        !tris
+    in
+    if two_disjoint then match exp with (f, _) :: _ -> Some f | [] -> None
+    else
+      first_failing exp (fun (_, (x, y, z)) ->
+          let vx = lookup g x and vy = lookup g y and vz = lookup g z in
+          vx >= 0 && vy >= 0 && vz >= 0 && vx <> vy && vy <> vz && vx <> vz
+          && mat.((vx * n) + vy)
+          && mat.((vy * n) + vz)
+          && mat.((vz * n) + vx))
+
 let triangles_unless_two_disjoint =
-  Query.make ~name:"triangles-unless-two-disjoint" ~input:graph_schema
+  Query.make ~witness:tri2d_witness ~name:"triangles-unless-two-disjoint"
+    ~input:graph_schema
     ~output:(Schema.of_list [ ("O", 3) ])
     (fun i ->
       let ts = triangles i in
@@ -209,8 +313,24 @@ let triangles_unless_two_disjoint =
    Datalog engine so that engine and query can cross-check each other. *)
 let winmove_schema = Schema.of_list [ ("Move", 2) ]
 
+let winmove_witness ~base ~expected =
+  let gb = Graph_kernel.of_rel "Move" base in
+  let exp =
+    List.map
+      (fun f ->
+        let x = Fact.arg f 0 in
+        (f, (x, Graph_kernel.vertex gb x)))
+      (Instance.to_list expected)
+  in
+  fun ext ->
+    let g = Graph_kernel.extend gb "Move" ext in
+    let w = Graph_kernel.wins g in
+    first_failing exp (fun (_, x) ->
+        let v = lookup g x in
+        v >= 0 && w.(v))
+
 let winmove =
-  Query.make ~name:"win-move" ~input:winmove_schema
+  Query.make ~witness:winmove_witness ~name:"win-move" ~input:winmove_schema
     ~output:(Schema.of_list [ ("Win", 1) ])
     (fun i ->
       let moves =

@@ -29,16 +29,36 @@ let adom t =
     Value.Set.empty
 
 let restrict t sigma = Fact.Set.filter (Schema.fact_over sigma) t
-let restrict_rels t names = Fact.Set.filter (fun f -> List.mem (Fact.rel f) names) t
+
+module Sset = Set.Make (String)
+
+let restrict_rels t names =
+  match names with
+  | [] -> Fact.Set.empty
+  | [ name ] -> Fact.Set.filter (fun f -> Fact.rel f = name) t
+  | _ ->
+    let names = Sset.of_list names in
+    Fact.Set.filter (fun f -> Sset.mem (Fact.rel f) names) t
 
 let rels t =
-  Fact.Set.fold
-    (fun f acc -> if List.mem (Fact.rel f) acc then acc else Fact.rel f :: acc)
-    t []
-  |> List.sort String.compare
+  Fact.Set.fold (fun f acc -> Sset.add (Fact.rel f) acc) t Sset.empty
+  |> Sset.elements
 
 let by_rel t name =
   Fact.Set.fold (fun f acc -> if Fact.rel f = name then f :: acc else acc) t []
+
+(* Order-insensitive only because set iteration is sorted: the digest is
+   a fold over facts in {!Fact.compare} order, so equal instances hash
+   equally. Cheap enough for memo keys; not cryptographic. *)
+let hash t =
+  Fact.Set.fold (fun f acc -> (acc * 486187739) + Fact.hash f) t 0x9e3779b9
+
+(* Least fact of [a] missing from [b] — equals
+   [List.hd (to_list (diff a b))] when the diff is non-empty, without
+   materializing the diff. The scan hot path leans on this equality to
+   keep certificates byte-identical with the seed checker. *)
+let first_missing a b =
+  Fact.Set.to_seq a |> Seq.find (fun f -> not (Fact.Set.mem f b))
 
 let tuples t name =
   List.map (fun f -> Array.of_list (Fact.args f)) (by_rel t name)

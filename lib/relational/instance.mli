@@ -51,6 +51,17 @@ val rels : t -> string list
 val by_rel : t -> string -> Fact.t list
 (** All facts with the given relation name. *)
 
+val hash : t -> int
+(** Structural digest: a fold of {!Fact.hash} over the facts in
+    {!Fact.compare} order, so [equal a b] implies [hash a = hash b].
+    Suitable as a memo key (paired with {!equal} on collision); not
+    cryptographic. *)
+
+val first_missing : t -> t -> Fact.t option
+(** [first_missing a b] is the least fact of [a] absent from [b] — equal
+    to the head of [to_list (diff a b)] when the diff is non-empty —
+    computed without materializing the difference. *)
+
 val tuples : t -> string -> Value.t array list
 (** Argument tuples of the facts with the given relation name. *)
 

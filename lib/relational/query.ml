@@ -3,9 +3,13 @@ type t = {
   input : Schema.t;
   output : Schema.t;
   eval : Instance.t -> Instance.t;
+  witness :
+    (base:Instance.t -> expected:Instance.t -> Instance.t -> Fact.t option)
+    option;
 }
 
-let make ~name ~input ~output eval = { name; input; output; eval }
+let make ?witness ~name ~input ~output eval =
+  { name; input; output; eval; witness }
 
 let apply q i =
   let result = q.eval (Instance.restrict i q.input) in
@@ -14,6 +18,29 @@ let apply q i =
       (Printf.sprintf "Query.apply: %s produced facts outside %s" q.name
          (Schema.to_string q.output));
   result
+
+(* The monotonicity scan's membership probe, staged per base: [stage q
+   ~base ~expected] returns a function answering, for each extension
+   [J], the least fact of [expected] outside [Q(base ∪ J)]. A
+   query-supplied witness does the per-base analysis once (interning the
+   base's graph, resolving [expected]) and answers each probe from the
+   extension's few facts, never materializing [Q]; the fallback unions,
+   evaluates, and scans [expected] in fact order. Both routes return the
+   head of [diff expected after] whenever that diff is non-empty. The
+   fallback skips [apply]'s output validation — the scan probes millions
+   of instances and the validation is a development assertion,
+   re-checked on the certificate path. *)
+let stage q ~base ~expected =
+  if Instance.is_empty expected then fun _ -> None
+  else
+    match q.witness with
+    | Some w -> w ~base ~expected
+    | None ->
+      fun extension ->
+        Instance.first_missing expected
+          (q.eval (Instance.restrict (Instance.union base extension) q.input))
+
+let first_missing q ~expected i = stage q ~base:i ~expected Instance.empty
 
 let compose ~name q2 q1 =
   if not (Schema.subset q2.input q1.output) then
@@ -25,6 +52,7 @@ let compose ~name q2 q1 =
     input = q1.input;
     output = q2.output;
     eval = (fun i -> apply q2 (apply q1 i));
+    witness = None;
   }
 
 let union ~name a b =
@@ -35,6 +63,7 @@ let union ~name a b =
     input = a.input;
     output = a.output;
     eval = (fun i -> Instance.union (apply a i) (apply b i));
+    witness = None;
   }
 
 let constant_filter q p =
@@ -43,6 +72,7 @@ let constant_filter q p =
     name = q.name ^ "/filtered";
     eval =
       (fun i -> if p (Instance.restrict i q.input) then q.eval i else Instance.empty);
+    witness = None;
   }
 
 let check_generic ?(trials = 8) ?(seed = 42) q i =

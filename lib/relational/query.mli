@@ -11,9 +11,23 @@ type t = {
   input : Schema.t;
   output : Schema.t;
   eval : Instance.t -> Instance.t;
+  witness :
+    (base:Instance.t -> expected:Instance.t -> Instance.t -> Fact.t option)
+    option;
+      (** Optional staged membership fast path: [w ~base ~expected ext]
+          must equal
+          [Instance.first_missing expected (apply _ (union base ext))] —
+          the least fact of [expected] outside [Q(base ∪ ext)] — but may
+          compute it without materializing [Q]. The partial application
+          [w ~base ~expected] is the place for per-base work (interning,
+          resolving [expected]): the monotonicity scan stages it once per
+          base and probes every admissible extension through it.
+          Correctness is pinned by the engine-equivalence test wall. *)
 }
 
 val make :
+  ?witness:
+    (base:Instance.t -> expected:Instance.t -> Instance.t -> Fact.t option) ->
   name:string -> input:Schema.t -> output:Schema.t ->
   (Instance.t -> Instance.t) -> t
 
@@ -21,6 +35,20 @@ val apply : t -> Instance.t -> Instance.t
 (** Restricts the input to the input schema, evaluates, and checks the
     result is over the output schema.
     @raise Invalid_argument if the result leaves the output schema. *)
+
+val stage :
+  t -> base:Instance.t -> expected:Instance.t -> Instance.t -> Fact.t option
+(** [stage q ~base ~expected] is a probe answering, for each extension
+    [J], the least fact of [expected] not in [apply q (base ∪ J)] ([None]
+    when [expected] is covered) — dispatching to the query's
+    {!field-witness} when present, otherwise unioning and evaluating per
+    probe (without [apply]'s output-schema assertion). Apply it partially
+    and reuse the result: per-base work happens at staging time. *)
+
+val first_missing : t -> expected:Instance.t -> Instance.t -> Fact.t option
+(** [first_missing q ~expected i] is the least fact of [expected] not in
+    [apply q i], or [None] when [expected ⊆ apply q i]:
+    [stage q ~base:i ~expected] probed with the empty extension. *)
 
 val compose : name:string -> t -> t -> t
 (** [compose q2 q1] feeds the output of [q1] (unioned with nothing else) to

@@ -300,6 +300,19 @@ let test_reorder_constants_first () =
   | _ -> Alcotest.fail "expected the constant-bearing atom first");
   check_int "same atoms" (List.length r.Ast.pos) (List.length r'.Ast.pos)
 
+let test_reorder_duplicate_atom () =
+  (* Regression: selection used physical equality, so a body containing
+     two structurally equal copies of an atom dropped both occurrences
+     at once. Removal must be by position. *)
+  let r = Parser.parse_rule "O(x,y) :- E(x,y), E(x,y), E(y,z)." in
+  let r' = Eval.reorder_body r in
+  check_int "duplicate survives reorder" (List.length r.Ast.pos)
+    (List.length r'.Ast.pos);
+  let p = [ r ] and p' = [ r' ] in
+  let i = inst [ edge 1 2; edge 2 3 ] in
+  Alcotest.check instance_testable "same fixpoint with duplicate atom"
+    (Eval.seminaive p i) (Eval.seminaive p' i)
+
 let test_reorder_preserves_semantics () =
   let p =
     Parser.parse_program
@@ -398,6 +411,54 @@ let test_hashjoin_invention () =
   let i = inst [ edge 1 2 ] in
   Alcotest.check instance_testable "invention through hash join"
     (Eval.seminaive p i) (Hashjoin.seminaive p i)
+
+(* ------------------------------------------------------------------ *)
+(* Reference engine (the preserved seed nested-loop evaluator) *)
+
+let cycle n = inst (List.init n (fun i -> edge i ((i + 1) mod n)))
+
+let test_refeval_zoo_agreement () =
+  (* The indexed engine and the hash-join engine against the frozen seed
+     engine, across the zoo's stratifiable programs and graph shapes. *)
+  let graphs =
+    [
+      path 4;
+      cycle 5;
+      inst [ edge 1 2; edge 2 3; edge 3 1; edge 3 4; edge 4 4 ];
+      Instance.empty;
+    ]
+  in
+  let programs =
+    [
+      ("tc", tc);
+      ("comp-tc", Adom.augment (Parser.parse_program comp_tc_src));
+      ("p1", Adom.augment (Parser.parse_program p1_src));
+      ("p2", Adom.augment (Parser.parse_program p2_src));
+    ]
+  in
+  List.iter
+    (fun (name, p) ->
+      List.iter
+        (fun i ->
+          match (Refeval.stratified p i, Eval.stratified p i) with
+          | Ok reference, Ok indexed ->
+            Alcotest.check instance_testable (name ^ ": indexed = reference")
+              reference indexed;
+            (match Hashjoin.stratified p i with
+            | Ok hj ->
+              Alcotest.check instance_testable (name ^ ": hashjoin = reference")
+                reference hj
+            | Error e -> Alcotest.fail e)
+          | Error e, _ | _, Error e -> Alcotest.fail e)
+        graphs)
+    programs
+
+let test_refeval_naive_seminaive () =
+  let i = path 5 in
+  Alcotest.check instance_testable "reference naive = reference seminaive"
+    (Refeval.naive tc i) (Refeval.seminaive tc i);
+  Alcotest.check instance_testable "reference naive = indexed naive"
+    (Refeval.naive tc i) (Eval.naive tc i)
 
 (* ------------------------------------------------------------------ *)
 (* Well-founded semantics *)
@@ -870,6 +931,36 @@ let prop_hashjoin_agrees =
           in
           Instance.equal (Eval.seminaive p i) (Hashjoin.seminaive p i))
 
+(* The equivalence wall for the indexed engine: the seed's nested-loop
+   evaluator is preserved verbatim as [Refeval]; random programs must
+   evaluate identically through the reference naive fixpoint, the
+   reference seminaive fixpoint, the indexed seminaive engine and the
+   hash-join engine. *)
+let prop_refeval_agrees =
+  QCheck2.Test.make ~name:"indexed engine = reference engine (random programs)"
+    ~count:300
+    (QCheck2.Gen.pair
+       (QCheck2.Gen.list_size (QCheck2.Gen.int_range 1 4) gen_rule)
+       (QCheck2.Gen.list_size (QCheck2.Gen.int_range 0 10)
+          (QCheck2.Gen.pair (QCheck2.Gen.int_range 0 4)
+             (QCheck2.Gen.int_range 0 4))))
+    (fun (p, pairs) ->
+      match Ast.schema_of p with
+      | exception Invalid_argument _ -> QCheck2.assume_fail ()
+      | _ ->
+        if List.exists (fun r -> Result.is_error (Ast.check_rule r)) p then
+          QCheck2.assume_fail ()
+        else
+          let i =
+            Instance.union
+              (inst (List.map (fun (a, b) -> fact "A" [ a; b ]) pairs))
+              (inst (List.map (fun (a, b) -> fact "B" [ b; a ]) pairs))
+          in
+          let reference = Refeval.naive p i in
+          Instance.equal reference (Refeval.seminaive p i)
+          && Instance.equal reference (Eval.seminaive p i)
+          && Instance.equal reference (Hashjoin.seminaive p i))
+
 let prop_stratified_genericity =
   let p = Program.parse comp_tc_src in
   let q = Program.query ~name:"comp-tc" p in
@@ -887,6 +978,7 @@ let qcheck_cases =
       prop_wf_winmove_partition;
       prop_parser_roundtrip;
       prop_hashjoin_agrees;
+      prop_refeval_agrees;
       prop_stratified_genericity;
     ]
 
@@ -935,6 +1027,8 @@ let () =
           Alcotest.test_case "triangles" `Quick test_eval_multi_join;
           Alcotest.test_case "reorder constants first" `Quick
             test_reorder_constants_first;
+          Alcotest.test_case "reorder duplicate atom" `Quick
+            test_reorder_duplicate_atom;
           Alcotest.test_case "reorder preserves semantics" `Quick
             test_reorder_preserves_semantics;
         ] );
@@ -953,6 +1047,12 @@ let () =
             test_hashjoin_constants_and_ineq;
           Alcotest.test_case "stratified" `Quick test_hashjoin_stratified;
           Alcotest.test_case "invention" `Quick test_hashjoin_invention;
+        ] );
+      ( "refeval",
+        [
+          Alcotest.test_case "zoo agreement" `Quick test_refeval_zoo_agreement;
+          Alcotest.test_case "naive = seminaive" `Quick
+            test_refeval_naive_seminaive;
         ] );
       ( "wellfounded",
         [

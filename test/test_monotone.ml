@@ -516,6 +516,68 @@ let test_games_losers_query () =
     (Instance.mem (Fact.make "Lose" [ Value.int 1 ]) out)
 
 (* ------------------------------------------------------------------ *)
+(* Cross-probe cache and parallel-scan determinism: verdicts, pair
+   tallies and (shrunken) certificates must be byte-identical whether
+   Q(base) is cached across a base's probes or recomputed per pair, and
+   independently of the worker count. *)
+
+let violation_equal (a : Classes.violation) (b : Classes.violation) =
+  a.Classes.kind = b.Classes.kind
+  && a.Classes.bound = b.Classes.bound
+  && Instance.equal a.Classes.base b.Classes.base
+  && Instance.equal a.Classes.extension b.Classes.extension
+  && Fact.equal a.Classes.missing b.Classes.missing
+
+let outcome_equal a b =
+  match (a, b) with
+  | Checker.No_violation { pairs = p }, Checker.No_violation { pairs = p' } ->
+    p = p'
+  | Checker.Violated v, Checker.Violated v' -> violation_equal v v'
+  | _ -> false
+
+let scan_configs =
+  [ (1, true); (1, false); (2, true); (2, false); (4, true); (4, false) ]
+
+let check_scan_invariant name run =
+  let reference = run ~jobs:1 ~cache:true in
+  List.iter
+    (fun (jobs, cache) ->
+      let o = run ~jobs ~cache in
+      check_bool
+        (Printf.sprintf "%s: jobs=%d cache=%b" name jobs cache)
+        true
+        (outcome_equal reference o);
+      match (reference, o) with
+      | Checker.Violated v, Checker.Violated v' ->
+        check_bool
+          (Printf.sprintf "%s: shrunken certificate jobs=%d cache=%b" name
+             jobs cache)
+          true
+          (violation_equal
+             (Shrink.shrink Zoo.comp_tc v)
+             (Shrink.shrink Zoo.comp_tc v'))
+      | _ -> ())
+    scan_configs
+
+let test_scan_cache_jobs_violating () =
+  check_scan_invariant "comp-tc distinct" (fun ~jobs ~cache ->
+      Checker.check_exhaustive ~bounds:small ~jobs ~cache Classes.Distinct
+        Zoo.comp_tc)
+
+let test_scan_cache_jobs_clean () =
+  check_scan_invariant "tc plain" (fun ~jobs ~cache ->
+      Checker.check_exhaustive ~bounds:small ~jobs ~cache Classes.Plain Zoo.tc)
+
+let test_scan_cache_jobs_random () =
+  check_scan_invariant "comp-tc random" (fun ~jobs ~cache ->
+      Checker.check_random ~seed:23 ~trials:800
+        ~bounds:{ small with Checker.max_ext = 2 }
+        ~jobs ~cache Classes.Distinct Zoo.comp_tc);
+  check_scan_invariant "tc random clean" (fun ~jobs ~cache ->
+      Checker.check_random ~seed:23 ~trials:300 ~jobs ~cache Classes.Plain
+        Zoo.tc)
+
+(* ------------------------------------------------------------------ *)
 (* wILOG zoo (Section 5.2 / Theorem 5.4) *)
 
 let test_wilog_tagged_edges () =
@@ -641,6 +703,47 @@ let prop_shrink_locally_minimal =
       && minimal_after_shrink Classes.Distinct shifted
       && minimal_after_shrink Classes.Disjoint shifted)
 
+(* The staged-witness contract (see {!Relational.Query.stage}): for any
+   base, extension and expected set, the witness fast path must return
+   exactly the fact the evaluating route returns — the least fact of
+   [expected] missing from [Q(base ∪ ext)]. Exercised for every zoo
+   query that installs a witness, including expected sets taken from an
+   unrelated graph (values that resolve to no vertex). *)
+let prop_witness_contract =
+  let rename_moves i =
+    Instance.fold
+      (fun f acc -> Instance.add (Fact.make "Move" (Fact.args f)) acc)
+      i Instance.empty
+  in
+  let cases =
+    [
+      (Zoo.tc, Fun.id);
+      (Zoo.comp_tc, Fun.id);
+      (Zoo.triangles_unless_two_disjoint, Fun.id);
+      (Zoo.winmove, rename_moves);
+    ]
+  in
+  QCheck2.Test.make ~name:"staged witnesses match the evaluator route"
+    ~count:200
+    (QCheck2.Gen.triple gen_graph gen_graph gen_graph)
+    (fun (b, e, x) ->
+      List.for_all
+        (fun (q, conv) ->
+          let base = conv b and ext = conv e in
+          let agree expected =
+            let via_witness = Query.stage q ~base ~expected ext in
+            let via_eval =
+              Instance.first_missing expected
+                (Query.apply q (Instance.union base ext))
+            in
+            match (via_witness, via_eval) with
+            | None, None -> true
+            | Some f, Some g -> Fact.equal f g
+            | _ -> false
+          in
+          agree (Query.apply q base) && agree (Query.apply q (conv x)))
+        cases)
+
 (* Random programs over binary predicates: edb {A, B}, idb {P, Q}, all
    arity 2, range-restricted by construction. [with_neg] adds negated
    edb atoms (semi-positive). *)
@@ -731,6 +834,7 @@ let qcheck_cases =
       prop_tc_monotone_random;
       prop_comp_tc_disjoint_monotone_random;
       prop_shrink_locally_minimal;
+      prop_witness_contract;
     ]
 
 let () =
@@ -790,6 +894,14 @@ let () =
           Alcotest.test_case "comp-tc vs engine" `Quick
             test_comp_tc_matches_engine;
           Alcotest.test_case "generators" `Quick test_graph_gen_shapes;
+        ] );
+      ( "cache-jobs",
+        [
+          Alcotest.test_case "exhaustive violating scan" `Slow
+            test_scan_cache_jobs_violating;
+          Alcotest.test_case "exhaustive clean scan" `Slow
+            test_scan_cache_jobs_clean;
+          Alcotest.test_case "random scan" `Slow test_scan_cache_jobs_random;
         ] );
       ( "shrink-ladder",
         [
