@@ -1185,6 +1185,62 @@ let e24_engine_ablation () =
   Report.print t
 
 (* ================================================================== *)
+(* E25 — empirical coordination: heard-from-all cuts vs static claims  *)
+(* ================================================================== *)
+
+let e25_empirical_coordination () =
+  let t =
+    Report.create
+      ~title:
+        "E25 / empirical coordination: heard-from-all-nodes cuts in causal \
+         cones vs the static CALM placement"
+      ~columns:[ "query"; "static"; "observed"; "free cells"; "verdict" ]
+  in
+  let entries = Empirical.zoo ~jobs () in
+  List.iter
+    (fun (e : Empirical.entry) ->
+      let free_cells =
+        List.filter
+          (fun (v : Empirical.policy_verdict) ->
+            v.Empirical.correct && v.Empirical.quiesced
+            && not v.Empirical.coordinated)
+          e.Empirical.runs
+      in
+      Report.add_row t
+        [
+          Printf.sprintf "%s (%s)" e.Empirical.name
+            (Hierarchy.to_string e.Empirical.level);
+          (if e.Empirical.static_free then "free" else "coordinated");
+          (if e.Empirical.observed_free then "free" else "coordinated");
+          Printf.sprintf "%d/%d"
+            (List.length free_cells)
+            (List.length e.Empirical.runs);
+          (if e.Empirical.agree then "AGREE" else "DISAGREE  <<< UNEXPECTED");
+        ])
+    entries;
+  (match
+     List.find_opt (fun (e : Empirical.entry) -> e.Empirical.name = "winmove")
+       entries
+   with
+  | None -> ()
+  | Some e ->
+    Report.add_note t
+      (Printf.sprintf "win-move per cell: %s"
+         (String.concat "; "
+            (List.map
+               (fun (v : Empirical.policy_verdict) ->
+                 Printf.sprintf "%s %s" v.Empirical.label
+                   (if v.Empirical.coordinated then "coordinated" else "free"))
+               e.Empirical.runs))));
+  Report.add_note t
+    "observed free = some correct quiescent run in which no output fact's \
+     causal cone touches every node (Definition 3's existential over \
+     policies/runs); Beyond queries run the coordinated barrier strategy, \
+     so every cone spans the network — win-move flips per placement: free \
+     under replicate-all/single, coordinated under the scatter policy";
+  Report.print t
+
+(* ================================================================== *)
 (* Bechamel timing benches (E14 wall-clock + E15 engine)               *)
 (* ================================================================== *)
 
@@ -1321,6 +1377,7 @@ let () =
   experiment "E19" e19_model_checking;
   experiment "E23" e23_parallel_speedup;
   experiment "E24" e24_engine_ablation;
+  experiment "E25" e25_empirical_coordination;
   experiment "bechamel" bechamel_section;
   (match json_out with Some file -> emit_json file | None -> ());
   print_endline "\nall experiment tables printed."

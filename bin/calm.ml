@@ -7,9 +7,13 @@
      calm simulate  compile to a coordination-free transducer and run it
                     on a simulated asynchronous network
      calm run       one instrumented network run (--metrics-out,
-                    --trace-out, --profile)
+                    --trace-out, --profile, --causal-out/-dot/-chrome)
      calm sweep     the policy × scheduler grid, optionally parallel
+                    (--traces-out for deterministic causal JSONL)
      calm netquery  "the network computes the query" verdict
+     calm explain   provenance of an output fact: its causal cone,
+                    replay-validated
+     calm detect    empirical coordination detection vs the static claim
      calm validate  schema-check emitted telemetry artifacts
      calm bench-diff  stable-metric regression guard vs a baseline
 
@@ -433,7 +437,38 @@ let run_cmd =
   let seed_term =
     Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Scheduler seed.")
   in
-  let run src outputs facts facts_file nodes scheduler seed obs =
+  let causal_out_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "causal-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the run's causal trace — every transition with its \
+             Lamport clock, vector clock, and message origins — as a \
+             calm-causal/v1 JSON document to $(docv).")
+  in
+  let causal_dot_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "causal-dot" ] ~docv:"FILE"
+          ~doc:
+            "Write the run's happens-before DAG as Graphviz DOT to \
+             $(docv): one cluster per node, program order solid, message \
+             deliveries dashed.")
+  in
+  let causal_chrome_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "causal-chrome" ] ~docv:"FILE"
+          ~doc:
+            "Write the run as a Chrome trace_event file to $(docv): one \
+             track per node on the Lamport time axis, message deliveries \
+             as flow arrows (open in Perfetto or chrome://tracing).")
+  in
+  let run src outputs facts facts_file nodes scheduler seed causal_out
+      causal_dot causal_chrome obs =
     with_observability obs @@ fun () ->
     let program = load_program_any ~outputs src in
     let input =
@@ -443,9 +478,14 @@ let run_cmd =
     let network = make_network nodes in
     let policy = default_policy_for compiled network in
     let sched = scheduler_of nodes seed scheduler in
+    let tracer =
+      if causal_out <> None || causal_dot <> None || causal_chrome <> None
+      then Some (Network.Trace.collector ())
+      else None
+    in
     let result =
-      Network.Run.run ~variant:compiled.Calm_core.Compile.variant ~policy
-        ~transducer:compiled.Calm_core.Compile.transducer ~input sched
+      Network.Run.run ?tracer ~variant:compiled.Calm_core.Compile.variant
+        ~policy ~transducer:compiled.Calm_core.Compile.transducer ~input sched
     in
     Printf.printf
       "policy=%s quiesced=%b rounds=%d transitions=%d messages=%d \
@@ -455,22 +495,50 @@ let run_cmd =
       result.Network.Run.messages_sent result.Network.Run.deliveries;
     Printf.printf "output (%d facts): %s\n"
       (Instance.cardinal result.Network.Run.outputs)
-      (Instance.to_string result.Network.Run.outputs)
+      (Instance.to_string result.Network.Run.outputs);
+    match tracer with
+    | None -> ()
+    | Some t ->
+      let events = Network.Trace.events t in
+      Option.iter
+        (fun f -> write_file f (Network.Trace.to_causal_json ~network events))
+        causal_out;
+      Option.iter
+        (fun f -> write_file f (Network.Trace.to_dot events))
+        causal_dot;
+      Option.iter
+        (fun f ->
+          write_file f (Network.Trace.to_chrome_causal ~network events))
+        causal_chrome
   in
   Cmd.v
     (Cmd.info "run"
        ~doc:
          "compile a program and run it once on a simulated network \
-          (instrumented; see --metrics-out / --trace-out / --profile)")
+          (instrumented; see --metrics-out / --trace-out / --profile / \
+          --causal-out / --causal-dot / --causal-chrome)")
     Term.(
       const run $ program_src_term $ outputs_term $ facts_term
-      $ facts_file_term $ nodes_term $ scheduler_term $ seed_term $ obs_term)
+      $ facts_file_term $ nodes_term $ scheduler_term $ seed_term
+      $ causal_out_term $ causal_dot_term $ causal_chrome_term $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* calm sweep *)
 
 let sweep_cmd =
-  let run src outputs facts facts_file nodes jobs obs =
+  let traces_out_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "traces-out" ] ~docv:"FILE"
+          ~doc:
+            "Write every cell's causal trace as JSONL to $(docv): cells \
+             sorted by label, each cell's events in the canonical \
+             (lamport, node, index) order — a linear extension of \
+             happens-before — so the bytes are identical under any \
+             $(b,--jobs).")
+  in
+  let run src outputs facts facts_file nodes jobs traces_out obs =
     with_observability obs @@ fun () ->
     let program = load_program_any ~outputs src in
     let input =
@@ -506,16 +574,24 @@ let sweep_cmd =
           r.Network.Run.transitions r.Network.Run.messages_sent
           (Instance.cardinal r.Network.Run.outputs)
           (List.length events))
-      results
+      results;
+    match traces_out with
+    | None -> ()
+    | Some file ->
+      write_file file
+        (Network.Trace.sweep_to_jsonl
+           (List.map (fun (label, _, events) -> (label, events)) results))
   in
   Cmd.v
     (Cmd.info "sweep"
        ~doc:
          "run the full policy × scheduler grid for a program, optionally \
-          in parallel; stable metrics are identical under any --jobs")
+          in parallel; stable metrics and --traces-out bytes are \
+          identical under any --jobs")
     Term.(
       const run $ program_src_term $ outputs_term $ facts_term
-      $ facts_file_term $ nodes_term $ jobs_term $ obs_term)
+      $ facts_file_term $ nodes_term $ jobs_term $ traces_out_term
+      $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* calm netquery *)
@@ -568,6 +644,162 @@ let netquery_cmd =
       $ facts_file_term $ nodes_term $ jobs_term $ obs_term)
 
 (* ------------------------------------------------------------------ *)
+(* calm explain *)
+
+let compile_any_or_exit program =
+  try Calm_core.Compile.compile_program_any program
+  with Invalid_argument msg ->
+    Printf.eprintf "cannot compile: %s\n" msg;
+    exit 1
+
+let parse_fact s =
+  try Fact.of_string s
+  with Invalid_argument msg | Failure msg ->
+    Printf.eprintf "bad fact %S: %s\n" s msg;
+    exit 1
+
+let explain_cmd =
+  let scheduler_term =
+    Arg.(
+      value
+      & opt
+          (enum [ ("round-robin", `Rr); ("random", `Rand); ("stingy", `Stingy) ])
+          `Rr
+      & info [ "scheduler"; "s" ] ~docv:"SCHED"
+          ~doc:"round-robin, random, or stingy.")
+  in
+  let seed_term =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Scheduler seed.")
+  in
+  let fact_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fact" ] ~docv:"FACT"
+          ~doc:
+            "The output fact to explain, e.g. 'T(1,3)'. Defaults to every \
+             output fact of the run.")
+  in
+  let run src outputs facts facts_file nodes scheduler seed fact =
+    let program = load_program_any ~outputs src in
+    let input =
+      resolve_input (Datalog.Program.input_schema program) facts facts_file
+    in
+    let compiled = compile_any_or_exit program in
+    let network = make_network nodes in
+    let policy = default_policy_for compiled network in
+    let sched = scheduler_of nodes seed scheduler in
+    let tracer = Network.Trace.collector () in
+    let result =
+      Network.Run.run ~tracer ~variant:compiled.Calm_core.Compile.variant
+        ~policy ~transducer:compiled.Calm_core.Compile.transducer ~input sched
+    in
+    let events = Network.Trace.events tracer in
+    Printf.printf "level=%s policy=%s quiesced=%b transitions=%d\n"
+      (Calm_core.Hierarchy.to_string compiled.Calm_core.Compile.level)
+      (Network.Policy.name policy) result.Network.Run.quiesced
+      result.Network.Run.transitions;
+    let targets =
+      match fact with
+      | Some s -> [ parse_fact s ]
+      | None -> Instance.to_list result.Network.Run.outputs
+    in
+    if targets = [] then begin
+      Printf.eprintf "the run produced no output facts to explain\n";
+      exit 1
+    end;
+    let failed = ref false in
+    List.iter
+      (fun target ->
+        match Network.Provenance.cone_of events target with
+        | None ->
+          Printf.eprintf "%s: not among the run's outputs\n"
+            (Fact.to_string target);
+          failed := true
+        | Some cone ->
+          Format.printf "%a@." Network.Provenance.pp cone;
+          Printf.printf "  heard-from-all-nodes cut: %b\n"
+            (Network.Provenance.heard_from_all ~network cone);
+          (match
+             Network.Provenance.validate
+               ~variant:compiled.Calm_core.Compile.variant ~policy
+               ~transducer:compiled.Calm_core.Compile.transducer ~input cone
+           with
+          | Ok () ->
+            Printf.printf "  replay: the cone alone reproduces the fact \
+                           (validated)\n"
+          | Error msg ->
+            Printf.printf "  replay: FAILED — %s\n" msg;
+            failed := true))
+      targets;
+    if !failed then exit 2
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "provenance of an output fact as its minimal causal cone — the \
+          anchor transition plus its happens-before past — validated by \
+          replaying just the cone")
+    Term.(
+      const run $ program_src_term $ outputs_term $ facts_term
+      $ facts_file_term $ nodes_term $ scheduler_term $ seed_term
+      $ fact_term)
+
+(* ------------------------------------------------------------------ *)
+(* calm detect *)
+
+let detect_cmd =
+  let scatter_term =
+    Arg.(
+      value & flag
+      & info [ "scatter" ]
+          ~doc:
+            "Append the value-scattering domain-guided policy to the \
+             battery — the 'bad' placement that spreads connected data \
+             across the whole network (win-move coordinates under it).")
+  in
+  let run src outputs facts facts_file nodes jobs scatter =
+    let program = load_program_any ~outputs src in
+    let input =
+      resolve_input (Datalog.Program.input_schema program) facts facts_file
+    in
+    let compiled = compile_any_or_exit program in
+    let network = make_network nodes in
+    let schema = compiled.Calm_core.Compile.query.Query.input in
+    let policies =
+      let base =
+        Network.Netquery.default_policies
+          ~domain_guided_only:compiled.Calm_core.Compile.domain_guided_only
+          schema network
+      in
+      if scatter then
+        base @ [ Calm_core.Empirical.scatter_policy schema network ]
+      else base
+    in
+    let entry =
+      Calm_core.Empirical.detect_compiled ~network ~policies ~jobs
+        ~name:"program" ~compiled ~input ()
+    in
+    Format.printf "%a@." Calm_core.Empirical.pp_entry entry;
+    if not entry.Calm_core.Empirical.agree then begin
+      print_endline
+        "verdict: observed coordination behaviour DISAGREES with the \
+         static claim";
+      exit 2
+    end
+  in
+  Cmd.v
+    (Cmd.info "detect"
+       ~doc:
+         "empirical coordination detection: run the policy × scheduler \
+          battery with causal tracing and check whether some correct \
+          quiescent run avoids a heard-from-all-nodes cut, then compare \
+          against the static CALM placement")
+    Term.(
+      const run $ program_src_term $ outputs_term $ facts_term
+      $ facts_file_term $ nodes_term $ jobs_term $ scatter_term)
+
+(* ------------------------------------------------------------------ *)
 (* calm validate *)
 
 let validate_cmd =
@@ -575,10 +807,15 @@ let validate_cmd =
     Arg.(
       required
       & opt
-          (some (enum [ ("metrics", `Metrics); ("bench", `Bench); ("trace", `Trace) ]))
+          (some
+             (enum
+                [
+                  ("metrics", `Metrics); ("bench", `Bench);
+                  ("trace", `Trace); ("causal", `Causal);
+                ]))
           None
       & info [ "kind" ] ~docv:"KIND"
-          ~doc:"Artifact kind: metrics, bench, or trace.")
+          ~doc:"Artifact kind: metrics, bench, trace, or causal.")
   in
   let file_term =
     Arg.(
@@ -599,7 +836,8 @@ let validate_cmd =
           match kind with
           | `Metrics -> Observe.Schema_check.validate_metrics j
           | `Bench -> Observe.Schema_check.validate_bench j
-          | `Trace -> Observe.Schema_check.validate_trace j))
+          | `Trace -> Observe.Schema_check.validate_trace j
+          | `Causal -> Observe.Schema_check.validate_causal j))
     in
     match result with
     | Ok () ->
@@ -607,7 +845,8 @@ let validate_cmd =
         (match kind with
         | `Metrics -> "calm-metrics/v1"
         | `Bench -> "calm-bench/v1"
-        | `Trace -> "trace")
+        | `Trace -> "trace"
+        | `Causal -> "calm-causal/v1")
     | Error m ->
       Printf.eprintf "%s: INVALID: %s\n" file m;
       exit 1
@@ -616,7 +855,8 @@ let validate_cmd =
     (Cmd.info "validate"
        ~doc:
          "validate a telemetry artifact (--metrics-out snapshot, bench \
-          --json trajectory, or --trace-out trace) against its schema")
+          --json trajectory, --trace-out trace, or --causal-out causal \
+          trace) against its schema")
     Term.(const run $ kind_term $ file_term)
 
 (* ------------------------------------------------------------------ *)
@@ -932,6 +1172,7 @@ let () =
        (Cmd.group info
           [
             eval_cmd; classify_cmd; check_cmd; simulate_cmd; run_cmd;
-            sweep_cmd; netquery_cmd; explore_cmd; validate_cmd;
-            bench_diff_cmd; graph_cmd; figure2_cmd; lint_cmd; certify_cmd;
+            sweep_cmd; netquery_cmd; explain_cmd; detect_cmd; explore_cmd;
+            validate_cmd; bench_diff_cmd; graph_cmd; figure2_cmd; lint_cmd;
+            certify_cmd;
           ]))

@@ -6,5 +6,6 @@
 module Hierarchy = Hierarchy
 module Figure2 = Figure2
 module Compile = Compile
+module Empirical = Empirical
 module Verify = Verify
 module Report = Report

@@ -32,6 +32,25 @@ let compile ~level q =
     domain_guided_only = level = Hierarchy.Domain_disjoint;
   }
 
+(* The coordinated complement of [compile]: queries outside Mdisjoint
+   have no coordination-free strategy (that is the paper's point), but
+   the barrier strategy still computes them — at the price of the
+   heard-from-all-nodes cut that {!Network.Detect} observes. It needs no
+   policy relations: the original model of Ameloot et al. suffices. *)
+let coordinated q =
+  {
+    level = Hierarchy.Beyond;
+    query = q;
+    transducer = Strategies.Barrier.transducer q;
+    variant = Network.Config.original;
+    domain_guided_only = false;
+  }
+
+let compile_any ~level q =
+  match level with
+  | Hierarchy.Beyond -> coordinated q
+  | l -> compile ~level:l q
+
 let compile_program ?bounds ?level p =
   let q = Datalog.Program.query ~name:"program" p in
   let level =
@@ -43,3 +62,15 @@ let compile_program ?bounds ?level p =
       | l -> l)
   in
   compile ~level q
+
+let compile_program_any ?bounds ?level p =
+  let q = Datalog.Program.query ~name:"program" p in
+  let level =
+    match level with
+    | Some l -> l
+    | None -> (
+      match Hierarchy.of_fragment (Datalog.Program.fragment p) with
+      | Hierarchy.Beyond -> Hierarchy.place_empirically ?bounds q
+      | l -> l)
+  in
+  compile_any ~level q

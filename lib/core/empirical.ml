@@ -1,0 +1,158 @@
+open Relational
+
+type policy_verdict = {
+  label : string;
+  correct : bool;
+  quiesced : bool;
+  report : Network.Detect.report;
+  coordinated : bool;
+}
+
+type entry = {
+  name : string;
+  level : Hierarchy.level;
+  static_free : bool;
+  runs : policy_verdict list;
+  observed_free : bool;
+  agree : bool;
+}
+
+let default_network = Distributed.network_of_ints [ 1; 2; 3 ]
+
+let detect_compiled ?network ?policies ?schedulers ?jobs ~name ~compiled
+    ~input () =
+  let network = Option.value network ~default:default_network in
+  let schedulers =
+    Option.value schedulers ~default:Network.Netquery.default_schedulers
+  in
+  let query = compiled.Compile.query in
+  let policies =
+    match policies with
+    | Some ps -> ps
+    | None ->
+      Network.Netquery.default_policies
+        ~domain_guided_only:compiled.Compile.domain_guided_only
+        query.Query.input network
+  in
+  let expected = Query.apply query input in
+  let cells =
+    List.concat_map
+      (fun policy ->
+        List.map
+          (fun (sname, sched) ->
+            (Network.Policy.name policy ^ "/" ^ sname, policy, sched))
+          schedulers)
+      policies
+  in
+  let swept =
+    Network.Run.sweep ?jobs ~variant:compiled.Compile.variant
+      ~transducer:compiled.Compile.transducer ~input cells
+  in
+  let runs =
+    List.map
+      (fun (label, r, events) ->
+        let report = Network.Detect.analyze ~network events in
+        {
+          label;
+          correct = Instance.equal r.Network.Run.outputs expected;
+          quiesced = r.Network.Run.quiesced;
+          report;
+          coordinated = report.Network.Detect.coordinated;
+        })
+      swept
+  in
+  let observed_free =
+    List.exists (fun v -> v.correct && v.quiesced && not v.coordinated) runs
+  in
+  let static_free = compiled.Compile.level <> Hierarchy.Beyond in
+  {
+    name;
+    level = compiled.Compile.level;
+    static_free;
+    runs;
+    observed_free;
+    agree = observed_free = static_free;
+  }
+
+let detect_query ?network ?policies ?schedulers ?jobs ~name ~level ~query
+    ~input () =
+  detect_compiled ?network ?policies ?schedulers ?jobs ~name
+    ~compiled:(Compile.compile_any ~level query)
+    ~input ()
+
+(* The "bad" domain-guided policy: scatter consecutive integer values
+   round-robin over the network, so any connected chain of data spans
+   every node. *)
+let scatter_policy schema network =
+  let arr = Array.of_list network in
+  let n = Array.length arr in
+  let idx i = ((i mod n) + n) mod n in
+  Network.Policy.domain_guided ~name:"scatter" schema network (fun v ->
+      match v with
+      | Value.Int i -> [ arr.(idx (i - 1)) ]
+      | v -> [ arr.(idx (Value.hash v)) ])
+
+let winmove_input =
+  Instance.of_list
+    [
+      Fact.make "Move" [ Value.int 1; Value.int 2 ];
+      Fact.make "Move" [ Value.int 2; Value.int 3 ];
+      Fact.make "Move" [ Value.int 3; Value.int 4 ];
+    ]
+
+let graph_input edges =
+  Instance.of_list
+    (List.map
+       (fun (a, b) -> Fact.make "E" [ Value.int a; Value.int b ])
+       edges)
+
+(* Inputs are chosen with nonempty query output: a run that outputs
+   nothing is vacuously cut-free, which would make any placement look
+   coordination-free. *)
+let zoo ?jobs () =
+  let network = default_network in
+  let detect = detect_query ?jobs ~network in
+  [
+    detect ~name:"tc" ~level:Hierarchy.Monotone ~query:Queries.Zoo.tc
+      ~input:(graph_input [ (1, 2); (2, 3); (5, 1) ])
+      ();
+    detect ~name:"comp_tc" ~level:Hierarchy.Domain_disjoint
+      ~query:Queries.Zoo.comp_tc
+      ~input:(graph_input [ (1, 2); (2, 3) ])
+      ();
+    (let query = Queries.Zoo.winmove in
+     let policies =
+       Network.Netquery.default_policies ~domain_guided_only:true
+         query.Query.input network
+       @ [ scatter_policy query.Query.input network ]
+     in
+     detect ~name:"winmove" ~level:Hierarchy.Domain_disjoint ~query
+       ~policies ~input:winmove_input ());
+    detect ~name:"q_clique3" ~level:Hierarchy.Beyond
+      ~query:(Queries.Zoo.q_clique 3)
+      ~input:(graph_input [ (1, 2); (2, 3) ])
+      ();
+    detect ~name:"q_star2" ~level:Hierarchy.Beyond
+      ~query:(Queries.Zoo.q_star 2)
+      ~input:(graph_input [ (1, 2); (3, 4) ])
+      ();
+    detect ~name:"triangles_u2d" ~level:Hierarchy.Beyond
+      ~query:Queries.Zoo.triangles_unless_two_disjoint
+      ~input:(graph_input [ (1, 2); (2, 3); (3, 1) ])
+      ();
+  ]
+
+let pp_entry ppf e =
+  Format.fprintf ppf "@[<v 2>%s: static %s (%s), observed %s — %s@ " e.name
+    (if e.static_free then "coordination-free" else "coordinated")
+    (Hierarchy.to_string e.level)
+    (if e.observed_free then "coordination-free" else "coordinated")
+    (if e.agree then "AGREE" else "DISAGREE");
+  List.iter
+    (fun v ->
+      Format.fprintf ppf "%-32s %s%s%s@ " v.label
+        (if v.coordinated then "coordinated" else "free")
+        (if v.correct then "" else " [WRONG OUTPUT]")
+        (if v.quiesced then "" else " [NO QUIESCENCE]"))
+    e.runs;
+  Format.fprintf ppf "@]"

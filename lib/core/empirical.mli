@@ -1,0 +1,81 @@
+(** Empirical coordination detection over the query zoo: the run-level
+    cross-check of the static CALM placements.
+
+    For each query, compile it ({!Compile.compile_any}: its
+    hierarchy-level strategy, or the coordinated barrier when [Beyond]),
+    run it over a battery of policies × schedulers with causal tracing,
+    and ask {!Network.Detect} whether each correct, quiescent run shows
+    a heard-from-all-nodes cut. A query is {e observed coordination-free}
+    when some such run has no cut — matching the existential
+    quantification over policies and runs in the paper's Definition 3 —
+    and the verdict must agree with the static claim: observed-free iff
+    the static level is within Mdisjoint.
+
+    Win-move is the "sometimes" case (Zinn–Green–Ludäscher): under good
+    domain-guided policies (everything co-located, or fully replicated)
+    its runs are coordination-free, while under a value-scattering
+    domain-guided policy every win fact's cone spans the whole network. *)
+
+open Relational
+
+type policy_verdict = {
+  label : string;           (** "<policy>/<scheduler>" *)
+  correct : bool;           (** run output = Q(I) *)
+  quiesced : bool;
+  report : Network.Detect.report;
+  coordinated : bool;       (** [report.coordinated] *)
+}
+
+type entry = {
+  name : string;
+  level : Hierarchy.level;        (** static claim *)
+  static_free : bool;             (** level within Mdisjoint *)
+  runs : policy_verdict list;
+  observed_free : bool;
+      (** some correct, quiescent run without a heard-from-all cut *)
+  agree : bool;                   (** observed_free = static_free *)
+}
+
+val detect_query :
+  ?network:Distributed.network ->
+  ?policies:Network.Policy.t list ->
+  ?schedulers:(string * Network.Run.scheduler) list ->
+  ?jobs:int ->
+  name:string ->
+  level:Hierarchy.level ->
+  query:Query.t ->
+  input:Instance.t ->
+  unit -> entry
+(** Defaults: 3-node network [{1,2,3}], the {!Network.Netquery}
+    default policy battery (domain-guided only when the compiled
+    strategy requires it), and the default scheduler battery. *)
+
+val detect_compiled :
+  ?network:Distributed.network ->
+  ?policies:Network.Policy.t list ->
+  ?schedulers:(string * Network.Run.scheduler) list ->
+  ?jobs:int ->
+  name:string ->
+  compiled:Compile.compiled ->
+  input:Instance.t ->
+  unit -> entry
+(** Same, for an already-compiled query (e.g. from
+    {!Compile.compile_program_any}). *)
+
+val scatter_policy : Schema.t -> Distributed.network -> Network.Policy.t
+(** The "bad" domain-guided policy: value [Int i] lives on node
+    [network[(i-1) mod n]] (other values by hash), so connected data is
+    scattered across the whole network and resolving a game chain must
+    hear from everyone. *)
+
+val winmove_input : Instance.t
+(** The move chain [1→2→3→4] used for the win-move table. *)
+
+val zoo : ?jobs:int -> unit -> entry list
+(** The E25 battery: tc (M), comp_tc and win-move (Mdisjoint — win-move
+    with the scatter policy appended to the battery), and q_clique 3,
+    q_star 2, triangles-unless-two-disjoint (Beyond, barrier strategy),
+    each on inputs with nonempty output so the detector has anchors to
+    inspect. *)
+
+val pp_entry : Format.formatter -> entry -> unit

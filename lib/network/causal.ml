@@ -1,0 +1,127 @@
+open Relational
+
+type stamp = {
+  lamport : int;
+  vector : (Value.t * int) list;
+  origins : (Fact.t * int) list;
+}
+
+type clock = { lam : int; vec : int Value.Map.t }
+
+(* Per recipient, per fact: the FIFO queue of pending (send index, send
+   clock) stamps, oldest first. The queue length always equals the
+   multiplicity of the fact in that node's buffer. *)
+type pending = (int * clock) list Fact.Map.t
+
+type t = {
+  network : Value.t list;
+  clocks : clock Value.Map.t;
+  inflight : pending Value.Map.t;
+}
+
+let zero = { lam = 0; vec = Value.Map.empty }
+
+let init network =
+  {
+    network;
+    clocks =
+      List.fold_left
+        (fun m n -> Value.Map.add n zero m)
+        Value.Map.empty network;
+    inflight =
+      List.fold_left
+        (fun m n -> Value.Map.add n Fact.Map.empty m)
+        Value.Map.empty network;
+  }
+
+let join c1 c2 =
+  {
+    lam = max c1.lam c2.lam;
+    vec = Value.Map.union (fun _ a b -> Some (max a b)) c1.vec c2.vec;
+  }
+
+let step t ~node ~index ~delivered ~sent =
+  let own =
+    match Value.Map.find_opt node t.clocks with Some c -> c | None -> zero
+  in
+  let pend =
+    match Value.Map.find_opt node t.inflight with
+    | Some p -> p
+    | None -> Fact.Map.empty
+  in
+  (* Pop the oldest pending send for each delivered copy and join its
+     clock into the event's causal past. *)
+  let pend, origins_rev, joined =
+    List.fold_left
+      (fun (pend, origins, acc) f ->
+        match Fact.Map.find_opt f pend with
+        | Some ((idx, c) :: rest) ->
+          let pend =
+            if rest = [] then Fact.Map.remove f pend
+            else Fact.Map.add f rest pend
+          in
+          (pend, (f, idx) :: origins, join acc c)
+        | Some [] | None ->
+          invalid_arg
+            (Printf.sprintf
+               "Causal.step: delivered copy of %s at node %s has no \
+                pending send"
+               (Fact.to_string f) (Value.to_string node)))
+      (pend, [], own) delivered
+  in
+  let tick =
+    {
+      lam = joined.lam + 1;
+      vec =
+        Value.Map.update node
+          (function None -> Some 1 | Some k -> Some (k + 1))
+          joined.vec;
+    }
+  in
+  let inflight = Value.Map.add node pend t.inflight in
+  (* [Config.transition] broadcasts every sent fact to every other node:
+     enqueue one pending stamp per (fact, recipient) copy. *)
+  let inflight =
+    if sent = [] then inflight
+    else
+      List.fold_left
+        (fun inflight y ->
+          if Value.equal y node then inflight
+          else
+            Value.Map.update y
+              (fun p ->
+                let p = Option.value p ~default:Fact.Map.empty in
+                Some
+                  (List.fold_left
+                     (fun p f ->
+                       Fact.Map.update f
+                         (fun q ->
+                           Some (Option.value q ~default:[] @ [ (index, tick) ]))
+                         p)
+                     p sent))
+              inflight)
+        inflight t.network
+  in
+  let t = { t with clocks = Value.Map.add node tick t.clocks; inflight } in
+  ( t,
+    {
+      lamport = tick.lam;
+      vector = Value.Map.bindings tick.vec;
+      origins = List.rev origins_rev;
+    } )
+
+(* -- happens-before on recorded vectors ----------------------------- *)
+
+let vector_get v n =
+  match List.assoc_opt n v with Some k -> k | None -> 0
+
+let vector_leq v1 v2 = List.for_all (fun (n, k) -> k <= vector_get v2 n) v1
+
+let vector_equal v1 v2 = vector_leq v1 v2 && vector_leq v2 v1
+
+let hb e e' =
+  vector_leq e.vector e'.vector && not (vector_equal e.vector e'.vector)
+
+let concurrent e e' = (not (hb e e')) && not (hb e' e)
+
+let support v = List.filter_map (fun (n, k) -> if k > 0 then Some n else None) v

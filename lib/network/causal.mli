@@ -1,0 +1,68 @@
+(** Logical clocks for network runs.
+
+    Every transition of a transducer network is an {e event}; an event
+    [e] happens-before [e'] when [e] precedes [e'] at the same node
+    (program order) or a message copy sent by [e] is delivered by [e']
+    (message order), closed transitively. This module maintains, along a
+    run, the Lamport clock and vector clock of each event plus the exact
+    send event behind every delivered message copy, so that the
+    happens-before relation of the run can be reconstructed from its
+    trace alone.
+
+    Message buffers are multisets and copies of the same fact are
+    indistinguishable, so deliveries are matched to pending sends
+    oldest-first (per fact, per recipient). This FIFO matching is the
+    canonical choice: any other matching yields an isomorphic
+    happens-before relation, and oldest-first makes the stamps
+    deterministic. *)
+
+open Relational
+
+(** The stamp of one event, as recorded in a trace. The vector is a
+    sorted association list over the network's nodes (absent = 0). *)
+type stamp = {
+  lamport : int;  (** Lamport clock, ≥ 1 *)
+  vector : (Value.t * int) list;
+      (** vector clock: for each node, how many of its transitions are in
+          this event's causal past (inclusive) *)
+  origins : (Fact.t * int) list;
+      (** one entry per delivered message copy: the index of the send
+          event it was matched to *)
+}
+
+type t
+(** The evolving causal state of a run: per-node clocks plus the pending
+    (sent, not yet delivered) message stamps. *)
+
+val init : Distributed.network -> t
+
+val step :
+  t -> node:Value.t -> index:int -> delivered:Fact.t list ->
+  sent:Fact.t list -> t * stamp
+(** Account for one transition: [delivered] lists the consumed message
+    copies (with multiplicity, as {!Relational.Multiset.to_list}),
+    [sent] the facts broadcast to every other node, [index] the event's
+    transition number. @raise Invalid_argument if a delivered copy has
+    no pending send — i.e. the calls do not replay an actual run from
+    its initial configuration. *)
+
+(* -- happens-before on recorded vectors ----------------------------- *)
+
+val vector_get : (Value.t * int) list -> Value.t -> int
+
+val vector_leq : (Value.t * int) list -> (Value.t * int) list -> bool
+(** Pointwise ≤. *)
+
+val vector_equal : (Value.t * int) list -> (Value.t * int) list -> bool
+
+val hb : stamp -> stamp -> bool
+(** [hb e e']: event [e] happens-before [e'] (strict: vectors ≤ and
+    distinct). Distinct events of a run always have distinct vectors, so
+    this decides the happens-before relation exactly. *)
+
+val concurrent : stamp -> stamp -> bool
+(** Neither [hb e e'] nor [hb e' e]. *)
+
+val support : (Value.t * int) list -> Value.t list
+(** The nodes with a nonzero component: exactly the nodes owning at
+    least one event in the causal past. *)

@@ -1,0 +1,81 @@
+open Relational
+
+type fact_report = {
+  fact : Fact.t;
+  anchor_index : int;
+  anchor_node : Value.t;
+  cone_events : int;
+  cone_nodes : Value.t list;
+  heard_from_all : bool;
+}
+
+type report = {
+  network : Distributed.network;
+  facts : fact_report list;
+  coordinated : bool;
+}
+
+let analyze ~network events =
+  let events =
+    List.sort (fun a b -> compare a.Trace.index b.Trace.index) events
+  in
+  (* Distinct output facts in order of first production. *)
+  let outputs =
+    List.concat_map
+      (fun e -> List.map (fun f -> (e, f)) e.Trace.output_delta)
+      events
+  in
+  let _, firsts =
+    List.fold_left
+      (fun (seen, acc) (e, f) ->
+        if Fact.Set.mem f seen then (seen, acc)
+        else (Fact.Set.add f seen, (e, f) :: acc))
+      (Fact.Set.empty, []) outputs
+  in
+  let facts =
+    List.rev_map
+      (fun (anchor, fact) ->
+        let cone_nodes = Causal.support anchor.Trace.vector in
+        let cone_events =
+          List.length
+            (List.filter
+               (fun e ->
+                 Causal.vector_leq e.Trace.vector anchor.Trace.vector)
+               events)
+        in
+        {
+          fact;
+          anchor_index = anchor.Trace.index;
+          anchor_node = anchor.Trace.node;
+          cone_events;
+          cone_nodes;
+          heard_from_all =
+            List.for_all
+              (fun n -> List.exists (Value.equal n) cone_nodes)
+              network;
+        })
+      firsts
+  in
+  {
+    network;
+    facts;
+    coordinated = List.exists (fun r -> r.heard_from_all) facts;
+  }
+
+let pp_nodes ppf ns =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+    Value.pp ppf ns
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>network %a — %s@ " pp_nodes r.network
+    (if r.coordinated then "COORDINATED (heard-from-all cut observed)"
+     else "coordination-free (no heard-from-all cut)");
+  List.iter
+    (fun f ->
+      Format.fprintf ppf "%a: anchor #%d @@ %a, cone %d events, heard %a%s@ "
+        Fact.pp f.fact f.anchor_index Value.pp f.anchor_node f.cone_events
+        pp_nodes f.cone_nodes
+        (if f.heard_from_all then " [ALL]" else ""))
+    r.facts;
+  Format.fprintf ppf "@]"

@@ -28,8 +28,8 @@ type verdict = {
 
 let consistent v = v.mismatches = [] && v.all_quiesced
 
-let check ?(schedulers = default_schedulers) ?policies ?max_rounds ?jobs
-    ~variant ~transducer ~query ~input network =
+let check_traced ?(schedulers = default_schedulers) ?policies ?max_rounds
+    ?jobs ~variant ~transducer ~query ~input network =
   let policies =
     match policies with
     | Some ps -> ps
@@ -45,10 +45,8 @@ let check ?(schedulers = default_schedulers) ?policies ?max_rounds ?jobs
           schedulers)
       policies
   in
-  let runs =
-    Run.sweep ?jobs ?max_rounds ~variant ~transducer ~input cells
-    |> List.map (fun (label, r, _events) -> (label, r))
-  in
+  let swept = Run.sweep ?jobs ?max_rounds ~variant ~transducer ~input cells in
+  let runs = List.map (fun (label, r, _events) -> (label, r)) swept in
   let mismatches =
     List.filter_map
       (fun (label, r) ->
@@ -56,4 +54,11 @@ let check ?(schedulers = default_schedulers) ?policies ?max_rounds ?jobs
       runs
   in
   let all_quiesced = List.for_all (fun (_, r) -> r.Run.quiesced) runs in
-  { expected; runs; mismatches; all_quiesced }
+  ( { expected; runs; mismatches; all_quiesced },
+    List.map (fun (label, _r, events) -> (label, events)) swept )
+
+let check ?schedulers ?policies ?max_rounds ?jobs ~variant ~transducer ~query
+    ~input network =
+  fst
+    (check_traced ?schedulers ?policies ?max_rounds ?jobs ~variant ~transducer
+       ~query ~input network)

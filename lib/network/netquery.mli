@@ -37,3 +37,17 @@ val check :
     scheduler × policy combination and compares the accumulated output
     against [Q(input)]. With [jobs > 1] the independent sweep cells run
     on a Domain pool ({!Run.sweep}); the verdict is unchanged. *)
+
+val check_traced :
+  ?schedulers:(string * Run.scheduler) list ->
+  ?policies:Policy.t list ->
+  ?max_rounds:int ->
+  ?jobs:int ->
+  variant:Config.variant ->
+  transducer:Transducer.t ->
+  query:Query.t ->
+  input:Instance.t ->
+  Distributed.network -> verdict * (string * Trace.event list) list
+(** Like {!check}, additionally returning each cell's causal trace
+    (label in the same ["<policy>/<scheduler>"] format). Cell order —
+    events included — is [jobs]-independent. *)

@@ -7,8 +7,11 @@ module Policy = Policy
 module Transducer_schema = Transducer_schema
 module Transducer = Transducer
 module Config = Config
+module Causal = Causal
 module Trace = Trace
 module Run = Run
+module Provenance = Provenance
+module Detect = Detect
 module Netquery = Netquery
 module Coordination = Coordination
 module Explore = Explore

@@ -19,6 +19,9 @@ type counters = {
   mutable n_transitions : int;
   mutable n_messages : int;
   mutable n_deliveries : int;
+  (* Causal state is only advanced when a tracer is attached: untraced
+     runs pay nothing for the clock machinery. *)
+  mutable causal : Causal.t;
 }
 
 (* Telemetry (all stable): per-transition tallies live in [Config]; here
@@ -55,12 +58,22 @@ let step ?tracer ~variant ~policy ~transducer ~input counters config node
   (match tracer with
   | None -> ()
   | Some c ->
+    let delivered = Multiset.to_list deliver in
+    let sent = Instance.to_list stats.Config.sent_facts in
+    let causal', stamp =
+      Causal.step counters.causal ~node ~index:counters.n_transitions
+        ~delivered ~sent
+    in
+    counters.causal <- causal';
     Trace.record c
       {
         Trace.index = counters.n_transitions;
         node;
-        delivered = Fact.Set.elements (Multiset.support deliver);
-        sent = Instance.to_list stats.Config.sent_facts;
+        lamport = stamp.Causal.lamport;
+        vector = stamp.Causal.vector;
+        origins = stamp.Causal.origins;
+        delivered;
+        sent;
         output_delta = Instance.to_list stats.Config.output_delta;
       });
   config'
@@ -114,7 +127,14 @@ let run ?tracer ?(max_rounds = 500) ~variant ~policy ~transducer ~input
   @@ fun () ->
   Observe.Metrics.time m_run @@ fun () ->
   let schema = transducer.Transducer.schema in
-  let counters = { n_transitions = 0; n_messages = 0; n_deliveries = 0 } in
+  let counters =
+    {
+      n_transitions = 0;
+      n_messages = 0;
+      n_deliveries = 0;
+      causal = Causal.init (Policy.network policy);
+    }
+  in
   let config0 = Config.start (Policy.network policy) in
   let config0 =
     match scheduler with
@@ -183,7 +203,14 @@ let sweep ?jobs ?max_rounds ~variant ~transducer ~input cells =
 
 let heartbeat_prefix ?tracer ?(max_steps = 200) ~variant ~policy ~transducer
     ~input ~node () =
-  let counters = { n_transitions = 0; n_messages = 0; n_deliveries = 0 } in
+  let counters =
+    {
+      n_transitions = 0;
+      n_messages = 0;
+      n_deliveries = 0;
+      causal = Causal.init (Policy.network policy);
+    }
+  in
   let config0 = Config.start (Policy.network policy) in
   let rec go k config =
     if k >= max_steps then (config, false)

@@ -3,10 +3,16 @@ open Relational
 type event = {
   index : int;
   node : Value.t;
+  lamport : int;
+  vector : (Value.t * int) list;
+  origins : (Fact.t * int) list;
   delivered : Fact.t list;
   sent : Fact.t list;
   output_delta : Fact.t list;
 }
+
+let stamp e =
+  { Causal.lamport = e.lamport; vector = e.vector; origins = e.origins }
 
 type collector = event list ref
 
@@ -20,6 +26,19 @@ let sink_args e =
   [
     ("index", Observe.Json.Int e.index);
     ("node", Observe.Json.String (Value.to_string e.node));
+    ("lamport", Observe.Json.Int e.lamport);
+    ( "vector",
+      Observe.Json.Obj
+        (List.map
+           (fun (n, k) -> (Value.to_string n, Observe.Json.Int k))
+           e.vector) );
+    ( "origins",
+      Observe.Json.List
+        (List.map
+           (fun (f, idx) ->
+             Observe.Json.List
+               [ Observe.Json.String (Fact.to_string f); Observe.Json.Int idx ])
+           e.origins) );
     ("delivered", facts e.delivered);
     ("sent", facts e.sent);
     ("output_delta", facts e.output_delta);
@@ -37,6 +56,21 @@ let outputs_timeline c =
     (fun e -> List.map (fun f -> (e.index, f)) e.output_delta)
     (events c)
 
+(* A linear extension of happens-before that is independent of the
+   schedule interleaving actually observed: Lamport clocks respect
+   happens-before, and events sharing a Lamport value are pairwise
+   concurrent, so (lamport, node, index) is a total order refining the
+   causal one with a stable tie-break. *)
+let canonical evs =
+  List.stable_sort
+    (fun a b ->
+      let c = compare a.lamport b.lamport in
+      if c <> 0 then c
+      else
+        let c = Value.compare a.node b.node in
+        if c <> 0 then c else compare a.index b.index)
+    evs
+
 (* JSONL: one compact object per event. Facts are serialized through
    [Fact.to_string]/[Fact.of_string], which round-trip for non-Skolem
    values (Skolem values have no parseable syntax). *)
@@ -45,6 +79,25 @@ let event_to_json e = Observe.Json.Obj (sink_args e)
 let to_jsonl evs =
   String.concat ""
     (List.map (fun e -> Observe.Json.to_string (event_to_json e) ^ "\n") evs)
+
+(* Deterministic multi-cell export: cells sorted by label, each cell's
+   events in canonical causal order, so the bytes depend only on the
+   cells' contents — not on the pool scheduling that produced them. *)
+let sweep_to_jsonl cells =
+  let cells =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) cells
+  in
+  String.concat ""
+    (List.concat_map
+       (fun (label, evs) ->
+         List.map
+           (fun e ->
+             Observe.Json.to_string
+               (Observe.Json.Obj
+                  (("cell", Observe.Json.String label) :: sink_args e))
+             ^ "\n")
+           (canonical evs))
+       cells)
 
 let event_of_json j =
   let open Observe.Json in
@@ -64,6 +117,44 @@ let event_of_json j =
     | String s -> Ok (Value.of_string s)
     | _ -> Error "trace event: node not a string"
   in
+  (* Causal fields default to the empty stamp so that pre-causal traces
+     still parse. *)
+  let* lamport =
+    match member "lamport" j with
+    | None -> Ok 0
+    | Some (Int i) -> Ok i
+    | Some _ -> Error "trace event: lamport not an int"
+  in
+  let* vector =
+    match member "vector" j with
+    | None -> Ok []
+    | Some (Obj kvs) ->
+      (try
+         Ok
+           (List.map
+              (function
+                | (n, Int k) -> (Value.of_string n, k)
+                | _ -> invalid_arg "component not an int")
+              kvs)
+       with Invalid_argument m ->
+         Error (Printf.sprintf "trace event: bad vector: %s" m))
+    | Some _ -> Error "trace event: vector not an object"
+  in
+  let* origins =
+    match member "origins" j with
+    | None -> Ok []
+    | Some (List l) ->
+      (try
+         Ok
+           (List.map
+              (function
+                | List [ String f; Int idx ] -> (Fact.of_string f, idx)
+                | _ -> invalid_arg "not a [fact, index] pair")
+              l)
+       with Invalid_argument m ->
+         Error (Printf.sprintf "trace event: bad origins: %s" m))
+    | Some _ -> Error "trace event: origins not a list"
+  in
   let facts name =
     let* v = field name in
     match v with
@@ -82,7 +173,7 @@ let event_of_json j =
   let* delivered = facts "delivered" in
   let* sent = facts "sent" in
   let* output_delta = facts "output_delta" in
-  Ok { index; node; delivered; sent; output_delta }
+  Ok { index; node; lamport; vector; origins; delivered; sent; output_delta }
 
 let of_jsonl s =
   let lines =
@@ -100,6 +191,205 @@ let of_jsonl s =
         | Ok e -> go (e :: acc) rest))
   in
   go [] lines
+
+(* ------------------------------------------------------------------ *)
+(* calm-causal/v1 *)
+
+let causal_schema = "calm-causal/v1"
+
+let to_causal_json ~network evs =
+  Observe.Json.to_string
+    (Observe.Json.Obj
+       [
+         ("schema", Observe.Json.String causal_schema);
+         ( "network",
+           Observe.Json.List
+             (List.map
+                (fun n -> Observe.Json.String (Value.to_string n))
+                network) );
+         ("events", Observe.Json.List (List.map event_to_json (canonical evs)));
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* Happens-before DAG exporters *)
+
+let dot_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_dot evs =
+  let evs = List.sort (fun a b -> compare a.index b.index) evs in
+  let nodes =
+    List.sort_uniq Value.compare (List.map (fun e -> e.node) evs)
+  in
+  let buf = Buffer.create 1024 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "digraph happens_before {\n";
+  pr "  rankdir=LR;\n";
+  pr "  node [shape=box, fontsize=10];\n";
+  List.iteri
+    (fun i n ->
+      pr "  subgraph cluster_%d {\n" i;
+      pr "    label=\"node %s\";\n" (dot_escape (Value.to_string n));
+      List.iter
+        (fun e ->
+          if Value.equal e.node n then begin
+            let label =
+              Printf.sprintf "#%d L%d" e.index e.lamport
+              ^ String.concat ""
+                  (List.map
+                     (fun f -> "\\nOUT " ^ dot_escape (Fact.to_string f))
+                     e.output_delta)
+            in
+            pr "    e%d [label=\"%s\"];\n" e.index label
+          end)
+        evs;
+      pr "  }\n")
+    nodes;
+  (* Program order: consecutive events of the same node. *)
+  List.iter
+    (fun n ->
+      let own = List.filter (fun e -> Value.equal e.node n) evs in
+      let rec edges = function
+        | a :: (b :: _ as rest) ->
+          pr "  e%d -> e%d [weight=10];\n" a.index b.index;
+          edges rest
+        | _ -> ()
+      in
+      edges own)
+    nodes;
+  (* Message order: one dashed edge per (send event, receive event) pair,
+     labeled with the delivered facts. *)
+  List.iter
+    (fun e ->
+      let by_src =
+        List.fold_left
+          (fun acc (f, idx) ->
+            let prev = try List.assoc idx acc with Not_found -> [] in
+            (idx, f :: prev) :: List.remove_assoc idx acc)
+          [] e.origins
+      in
+      let by_src = List.sort (fun (a, _) (b, _) -> compare a b) by_src in
+      List.iter
+        (fun (idx, facts) ->
+          let label =
+            String.concat ", "
+              (List.rev_map (fun f -> dot_escape (Fact.to_string f)) facts)
+          in
+          pr "  e%d -> e%d [style=dashed, constraint=false, label=\"%s\"];\n"
+            idx e.index label)
+        by_src)
+    evs;
+  pr "}\n";
+  Buffer.contents buf
+
+(* Chrome trace_event rendering of the happens-before DAG: one thread per
+   network node, the Lamport clock as the (synthetic) time axis — 1 ms
+   per tick — and flow events ("s"/"f" pairs sharing an id) drawing every
+   message delivery as an arrow between tracks. *)
+let to_chrome_causal ~network evs =
+  let open Observe.Json in
+  let evs = List.sort (fun a b -> compare a.index b.index) evs in
+  let tid n =
+    let rec idx i = function
+      | [] -> 0
+      | m :: _ when Value.equal m n -> i
+      | _ :: rest -> idx (i + 1) rest
+    in
+    1 + idx 0 network
+  in
+  let by_index = Hashtbl.create 64 in
+  List.iter (fun e -> Hashtbl.replace by_index e.index e) evs;
+  let ts e = float_of_int (e.lamport * 1000) in
+  let meta =
+    List.map
+      (fun n ->
+        Obj
+          [
+            ("name", String "thread_name");
+            ("ph", String "M");
+            ("pid", Int 1);
+            ("tid", Int (tid n));
+            ("args", Obj [ ("name", String ("node " ^ Value.to_string n)) ]);
+          ])
+      network
+  in
+  let spans =
+    List.map
+      (fun e ->
+        Obj
+          [
+            ("name", String (Printf.sprintf "#%d" e.index));
+            ("ph", String "X");
+            ("cat", String "causal");
+            ("ts", Float (ts e));
+            ("dur", Float 600.);
+            ("pid", Int 1);
+            ("tid", Int (tid e.node));
+            ( "args",
+              Obj
+                [
+                  ("index", Int e.index);
+                  ("lamport", Int e.lamport);
+                  ( "out",
+                    List
+                      (List.map
+                         (fun f -> String (Fact.to_string f))
+                         e.output_delta) );
+                ] );
+          ])
+      evs
+  in
+  let next_id = ref 0 in
+  let flows =
+    List.concat_map
+      (fun e ->
+        List.concat_map
+          (fun (f, idx) ->
+            match Hashtbl.find_opt by_index idx with
+            | None -> []
+            | Some src ->
+              incr next_id;
+              let id = !next_id in
+              let common name =
+                [
+                  ("name", String name);
+                  ("cat", String "msg");
+                  ("id", Int id);
+                  ("pid", Int 1);
+                ]
+              in
+              [
+                Obj
+                  (("ph", String "s")
+                  :: ("tid", Int (tid src.node))
+                  :: ("ts", Float (ts src +. 300.))
+                  :: common (Fact.to_string f));
+                Obj
+                  (("ph", String "f")
+                  :: ("bp", String "e")
+                  :: ("tid", Int (tid e.node))
+                  :: ("ts", Float (ts e +. 300.))
+                  :: common (Fact.to_string f));
+              ])
+          e.origins)
+      evs
+  in
+  to_string
+    (Obj
+       [
+         ("traceEvents", List (meta @ spans @ flows));
+         ("displayTimeUnit", String "ms");
+       ])
+
+(* ------------------------------------------------------------------ *)
 
 let pp_facts ppf facts =
   Format.pp_print_list

@@ -1,15 +1,25 @@
-(** Structured run traces: one event per transition, for protocol
-    inspection in the examples and for debugging transducers. *)
+(** Structured run traces: one event per transition, with the causal
+    stamps of {!Causal}, for protocol inspection, provenance
+    ({!Provenance}), and empirical coordination detection ({!Detect}). *)
 
 open Relational
 
 type event = {
   index : int;           (** transition number within the run *)
   node : Value.t;        (** the active node *)
-  delivered : Fact.t list;   (** support of the delivered submultiset *)
+  lamport : int;         (** Lamport clock of the event *)
+  vector : (Value.t * int) list;
+      (** vector clock (sorted association list; absent node = 0) *)
+  origins : (Fact.t * int) list;
+      (** per delivered copy: the send event it came from *)
+  delivered : Fact.t list;   (** delivered message copies, multiplicity
+                                 included *)
   sent : Fact.t list;        (** facts broadcast by this transition *)
   output_delta : Fact.t list;  (** output facts first produced here *)
 }
+
+val stamp : event -> Causal.stamp
+(** The event's causal stamp, for {!Causal.hb} / {!Causal.concurrent}. *)
 
 type collector
 
@@ -17,8 +27,9 @@ val collector : unit -> collector
 
 val record : collector -> event -> unit
 (** Also forwards the event to {!Observe.Sink.default} (as a
-    ["net.transition"] instant in category ["trace"]) when that sink is
-    enabled, so run traces show up in JSONL / Chrome exports. *)
+    ["net.transition"] instant in category ["trace"], causal stamp in
+    the args) when that sink is enabled, so run traces show up in
+    JSONL / Chrome exports. *)
 
 val events : collector -> event list
 (** In transition order. *)
@@ -26,13 +37,45 @@ val events : collector -> event list
 val outputs_timeline : collector -> (int * Fact.t) list
 (** [(transition index, fact)] for every output fact, in order. *)
 
+val canonical : event list -> event list
+(** A schedule-independent linear extension of happens-before: sorted by
+    (lamport, node, index). Lamport clocks respect happens-before and
+    equal-clock events are pairwise concurrent, so this refines the
+    causal order deterministically — the stable tie-break that makes
+    exports byte-identical across [--jobs]. *)
+
 val to_jsonl : event list -> string
 (** One compact JSON object per line. Facts are serialized with
     {!Fact.to_string}; the encoding round-trips through {!of_jsonl} for
     non-Skolem values. *)
 
 val of_jsonl : string -> (event list, string) result
-(** Parse {!to_jsonl} output (blank lines ignored). *)
+(** Parse {!to_jsonl} output (blank lines ignored). Traces written
+    before the causal layer parse with empty stamps. *)
+
+val sweep_to_jsonl : (string * event list) list -> string
+(** Deterministic export of several labeled traces (e.g. sweep cells):
+    cells sorted by label, each cell's events in {!canonical} order,
+    each line carrying a ["cell"] field. Byte-identical across [--jobs]
+    for equal inputs. *)
+
+val causal_schema : string
+(** ["calm-causal/v1"]. *)
+
+val to_causal_json : network:Distributed.network -> event list -> string
+(** The [calm-causal/v1] document: schema tag, network, and the events
+    (in {!canonical} order) with their full causal stamps. Validated by
+    {!Observe.Schema_check.validate_causal}. *)
+
+val to_dot : event list -> string
+(** The happens-before DAG in Graphviz DOT: one cluster per node,
+    program-order edges solid, message deliveries dashed and labeled
+    with the delivered facts. *)
+
+val to_chrome_causal : network:Distributed.network -> event list -> string
+(** Chrome trace_event rendering: one track (tid) per network node, the
+    Lamport clock as the synthetic time axis, message deliveries as flow
+    events ("s"/"f" arrows between tracks). *)
 
 val pp_event : Format.formatter -> event -> unit
 

@@ -10,6 +10,11 @@ type t =
 (* ------------------------------------------------------------------ *)
 (* Printing *)
 
+(* Strings are treated as byte sequences, not UTF-8: every byte outside
+   printable ASCII is escaped as [\u00XX], so the output is pure ASCII
+   and always well-formed JSON even for strings holding raw control or
+   high bytes. The parser decodes [\uXXXX] below 0x100 back to the
+   single byte, making print/parse the identity on arbitrary bytes. *)
 let escape_string b s =
   Buffer.add_char b '"';
   String.iter
@@ -20,7 +25,9 @@ let escape_string b s =
       | '\n' -> Buffer.add_string b "\\n"
       | '\r' -> Buffer.add_string b "\\r"
       | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 ->
+      | '\b' -> Buffer.add_string b "\\b"
+      | '\012' -> Buffer.add_string b "\\f"
+      | c when Char.code c < 0x20 || Char.code c >= 0x7f ->
         Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
       | c -> Buffer.add_char b c)
     s;
@@ -163,9 +170,11 @@ let parse_string c =
           with _ -> fail c "bad \\u escape"
         in
         c.pos <- c.pos + 4;
-        (* Encode the code point as UTF-8 (BMP only; surrogate pairs are
-           not recombined — the exporters never emit them). *)
-        if code < 0x80 then Buffer.add_char b (Char.chr code)
+        (* Codes below 0x100 decode to the single byte (the printer's
+           byte-oriented [\u00XX] escapes round-trip); higher BMP codes
+           decode as UTF-8 (surrogate pairs are not recombined — the
+           exporters never emit them). *)
+        if code < 0x100 then Buffer.add_char b (Char.chr code)
         else if code < 0x800 then begin
           Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
           Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))

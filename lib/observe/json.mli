@@ -18,15 +18,21 @@ type t =
 
 val to_string : t -> string
 (** Compact (single-line) rendering with RFC 8259 string escaping.
-    [Float] values render via ["%.17g"] (shortest round-trippable form is
-    not attempted); [nan] and infinities render as [null]. *)
+    Strings are treated as byte sequences: every byte outside printable
+    ASCII (controls, DEL, and bytes ≥ 0x80) is escaped as [\u00XX], so
+    the output is pure ASCII and survives strings holding arbitrary raw
+    bytes. [Float] values render via ["%.17g"] (shortest round-trippable
+    form is not attempted); [nan] and infinities render as [null]. *)
 
 val to_string_pretty : t -> string
 (** Two-space indented rendering, for humans. *)
 
 val of_string : string -> (t, string) result
 (** Parses a single JSON value (surrounding whitespace allowed). Numbers
-    without [.], [e], or [E] parse as [Int]. *)
+    without [.], [e], or [E] parse as [Int]. [\uXXXX] escapes below
+    0x100 decode to the single byte — the inverse of {!to_string}'s
+    byte-oriented escaping, so print/parse is the identity on arbitrary
+    byte strings; higher BMP code points decode as UTF-8. *)
 
 val of_string_exn : string -> t
 (** @raise Invalid_argument on a parse error. *)

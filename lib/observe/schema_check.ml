@@ -89,6 +89,59 @@ let validate_bench j =
         else Ok ())
       0 experiments
 
+let validate_causal j =
+  let* () = expect_schema "calm-causal/v1" j in
+  let* network = list_field "network" j in
+  let* () =
+    each
+      (function
+        | Json.String _ -> Ok ()
+        | _ -> error "network entry is not a string")
+      0 network
+  in
+  if network = [] then error "network array is empty"
+  else
+    let* events = list_field "events" j in
+    let fact_list name e =
+      let* l = list_field name e in
+      each
+        (function
+          | Json.String _ -> Ok ()
+          | _ -> error "%s entry is not a string" name)
+        0 l
+    in
+    each
+      (fun e ->
+        let* index = int_field "index" e in
+        let* _node = string_field "node" e in
+        let* lamport = int_field "lamport" e in
+        let* vector = obj_field "vector" e in
+        let* origins = list_field "origins" e in
+        let* () = fact_list "delivered" e in
+        let* () = fact_list "sent" e in
+        let* () = fact_list "output_delta" e in
+        if index < 1 then error "event index %d is not positive" index
+        else if lamport < 1 then
+          error "event #%d has lamport %d < 1" index lamport
+        else
+          let* () =
+            each
+              (function
+                | _, Json.Int k when k >= 1 -> Ok ()
+                | k, _ -> error "vector component %S is not a positive int" k)
+              0 vector
+          in
+          let* () =
+            each
+              (function
+                | Json.List [ Json.String _; Json.Int o ] when o >= 1 -> Ok ()
+                | _ -> error "origin is not a [fact, send index] pair")
+              0 origins
+          in
+          if vector = [] then error "event #%d has an empty vector" index
+          else Ok ())
+      0 events
+
 let validate_trace j =
   let* events = list_field "traceEvents" j in
   each

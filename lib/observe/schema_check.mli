@@ -18,3 +18,11 @@ val validate_bench : Json.t -> (unit, string) result
 val validate_trace : Json.t -> (unit, string) result
 (** A Chrome [trace_event] document: a [traceEvents] array whose entries
     all have [ph]/[pid]/[tid], with [name]/[ts] on non-metadata events. *)
+
+val validate_causal : Json.t -> (unit, string) result
+(** The [--causal-out] document: [schema = "calm-causal/v1"], a
+    non-empty [network] array of node names, and an [events] array whose
+    entries carry a positive [index], a [node], a positive [lamport]
+    clock, a non-empty [vector] object of positive ints, [origins] as
+    [[fact, send index]] pairs, and [delivered]/[sent]/[output_delta]
+    fact arrays. *)

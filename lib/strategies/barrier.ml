@@ -1,0 +1,131 @@
+open Relational
+
+let fact_prefix = "BFact_"
+let ack_prefix = "BAck_"
+let here_rel = "BHere"
+let ack_here_rel = "BAckHere"
+let done_rel = "BDone"
+let store_prefix = "S"
+
+let message_schema input =
+  Schema.of_list
+    ([ (here_rel, 1); (ack_here_rel, 2); (done_rel, 2) ]
+    @ List.concat_map
+        (fun (r, k) -> [ (fact_prefix ^ r, k + 1); (ack_prefix ^ r, k + 2) ])
+        (Schema.relations input))
+
+(* A message fact is "known" when it was just delivered (visible under
+   its message name) or stored in an earlier transition (visible under
+   its store-prefixed memory name). *)
+let known d name =
+  Instance.by_rel d name @ Instance.by_rel d (store_prefix ^ name)
+
+let all_nodes d =
+  List.fold_left
+    (fun acc f -> Value.Set.add (Fact.arg f 0) acc)
+    Value.Set.empty
+    (Instance.by_rel d Network.Transducer_schema.all_rel)
+
+(* Input facts learned from peers: known BFact_R(x, t) ↦ R(t). *)
+let collected input d =
+  List.fold_left
+    (fun acc (r, _) ->
+      List.fold_left
+        (fun acc f -> Instance.add (Fact.make r (List.tl (Fact.args f))) acc)
+        acc
+        (known d (fact_prefix ^ r)))
+    Instance.empty (Schema.relations input)
+
+let transducer (q : Query.t) =
+  let input = q.Query.input in
+  let msg = message_schema input in
+  let schema =
+    Network.Transducer_schema.make ~input ~output:q.Query.output ~message:msg
+      ~memory:(Common.rename_schema ~prefix:store_prefix msg)
+      ()
+  in
+  let snd d =
+    match Common.my_id d with
+    | None -> Instance.empty
+    | Some me ->
+      let local = Common.restrict_input input d in
+      (* Presence marker + my own input facts, tagged with my id. The
+         whole message set is re-broadcast every transition (it is
+         monotone and eventually stable), so the network quiesces the
+         same way the broadcast strategy does. *)
+      let base = Instance.add (Fact.make here_rel [ me ]) Instance.empty in
+      let base =
+        Instance.fold
+          (fun f acc ->
+            Instance.add
+              (Fact.make (fact_prefix ^ Fact.rel f) (me :: Fact.args f))
+              acc)
+          local base
+      in
+      (* Acknowledge every tagged fact and marker I have seen. *)
+      let base =
+        List.fold_left
+          (fun acc (r, _) ->
+            List.fold_left
+              (fun acc f ->
+                Instance.add (Fact.make (ack_prefix ^ r) (me :: Fact.args f)) acc)
+              acc
+              (known d (fact_prefix ^ r)))
+          base (Schema.relations input)
+      in
+      let base =
+        List.fold_left
+          (fun acc f ->
+            Instance.add (Fact.make ack_here_rel [ me; Fact.arg f 0 ]) acc)
+          base (known d here_rel)
+      in
+      (* BDone(me, y): y has acknowledged my marker and every one of my
+         local facts, hence y holds all of my input. *)
+      let acked_here_by y =
+        List.exists
+          (fun f ->
+            Value.equal (Fact.arg f 0) y && Value.equal (Fact.arg f 1) me)
+          (known d ack_here_rel)
+      in
+      let acked_fact_by y f =
+        List.exists
+          (fun g ->
+            match Fact.args g with
+            | a :: o :: rest ->
+              Value.equal a y && Value.equal o me
+              && List.equal Value.equal rest (Fact.args f)
+            | _ -> false)
+          (known d (ack_prefix ^ Fact.rel f))
+      in
+      Value.Set.fold
+        (fun y acc ->
+          if Value.equal y me then acc
+          else if
+            acked_here_by y
+            && Instance.fold (fun f ok -> ok && acked_fact_by y f) local true
+          then Instance.add (Fact.make done_rel [ me; y ]) acc
+          else acc)
+        (all_nodes d) base
+  in
+  let ins d = Common.rename ~prefix:store_prefix (Instance.restrict d msg) in
+  let out d =
+    match Common.my_id d with
+    | None -> Instance.empty
+    | Some me ->
+      let everyone = all_nodes d in
+      let have_done y =
+        Value.equal y me
+        || List.exists
+             (fun f ->
+               Value.equal (Fact.arg f 0) y && Value.equal (Fact.arg f 1) me)
+             (known d done_rel)
+      in
+      if Value.Set.is_empty everyone then Instance.empty
+      else if Value.Set.for_all have_done everyone then
+        (* Barrier passed: my collection is the global input, so Q may be
+           applied even when non-monotone. *)
+        Query.apply q
+          (Instance.union (Common.restrict_input input d) (collected input d))
+      else Instance.empty
+  in
+  Network.Transducer.make ~schema ~out ~ins ~snd ()

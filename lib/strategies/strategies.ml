@@ -1,10 +1,13 @@
 (** The three generic coordination-free evaluation strategies from the
     constructive halves of the paper's Theorems 4.3 and 4.4 and
-    Corollary 4.6: broadcast (M), fact-and-absence broadcast (Mdistinct),
-    and the domain-request protocol (Mdisjoint, domain-guided). *)
+    Corollary 4.6 — broadcast (M), fact-and-absence broadcast
+    (Mdistinct), and the domain-request protocol (Mdisjoint,
+    domain-guided) — plus the coordinated barrier fallback that computes
+    queries outside Mdisjoint. *)
 
 module Common = Common
 module Broadcast = Broadcast
 module Broadcast_delta = Broadcast_delta
 module Absence = Absence
 module Domain_request = Domain_request
+module Barrier = Barrier

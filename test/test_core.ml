@@ -116,6 +116,70 @@ let test_compiled_program_runs () =
     (Instance.equal result.Network.Run.outputs expected)
 
 (* ------------------------------------------------------------------ *)
+(* Empirical coordination detection (E25) *)
+
+let test_compile_any_beyond_barrier () =
+  (* Beyond queries now compile: to the coordinated barrier strategy. *)
+  let c = Compile.compile_any ~level:Hierarchy.Beyond (Zoo.q_clique 3) in
+  check_bool "level stays Beyond" true (c.Compile.level = Hierarchy.Beyond);
+  check_bool "any policy allowed" false c.Compile.domain_guided_only;
+  let input = Graph_gen.of_edges [ (1, 2); (2, 3) ] in
+  let expected = Query.apply (Zoo.q_clique 3) input in
+  List.iter
+    (fun policy ->
+      let r =
+        Network.Run.run ~variant:c.Compile.variant ~policy
+          ~transducer:c.Compile.transducer ~input Network.Run.Round_robin
+      in
+      check_bool (Network.Policy.name policy ^ " quiesced") true
+        r.Network.Run.quiesced;
+      check_bool (Network.Policy.name policy ^ " correct") true
+        (Instance.equal r.Network.Run.outputs expected))
+    (Network.Netquery.default_policies (Zoo.q_clique 3).Query.input net)
+
+let test_empirical_zoo_agrees () =
+  let entries = Empirical.zoo () in
+  check_bool "six zoo entries" true (List.length entries = 6);
+  List.iter
+    (fun (en : Empirical.entry) ->
+      check_bool (en.Empirical.name ^ ": some correct quiescent run") true
+        (List.exists
+           (fun (v : Empirical.policy_verdict) ->
+             v.Empirical.correct && v.Empirical.quiesced)
+           en.Empirical.runs);
+      check_bool (en.Empirical.name ^ ": observed verdict agrees with static")
+        true en.Empirical.agree)
+    entries;
+  (* Win-move is the "sometimes" row: free under the good placements,
+     coordinated under the scattering one. *)
+  match
+    List.find_opt
+      (fun (en : Empirical.entry) -> en.Empirical.name = "winmove")
+      entries
+  with
+  | None -> Alcotest.fail "winmove missing from the zoo"
+  | Some en ->
+    check_bool "winmove: some correct run is cut-free" true
+      (List.exists
+         (fun (v : Empirical.policy_verdict) ->
+           v.Empirical.correct && v.Empirical.quiesced
+           && not v.Empirical.coordinated)
+         en.Empirical.runs);
+    let scatter_cells =
+      List.filter
+        (fun (v : Empirical.policy_verdict) ->
+          String.length v.Empirical.label >= 7
+          && String.sub v.Empirical.label 0 7 = "scatter")
+        en.Empirical.runs
+    in
+    check_bool "winmove: scatter cells present" true (scatter_cells <> []);
+    List.iter
+      (fun (v : Empirical.policy_verdict) ->
+        check_bool (v.Empirical.label ^ ": coordinated") true
+          v.Empirical.coordinated)
+      scatter_cells
+
+(* ------------------------------------------------------------------ *)
 (* Report *)
 
 let test_report_rendering () =
@@ -190,6 +254,13 @@ let () =
           Alcotest.test_case "beyond rejected" `Quick test_compile_beyond_rejected;
           Alcotest.test_case "program level" `Quick test_compile_program_picks_level;
           Alcotest.test_case "compiled program runs" `Slow test_compiled_program_runs;
+        ] );
+      ( "empirical",
+        [
+          Alcotest.test_case "compile_any: barrier computes Beyond" `Slow
+            test_compile_any_beyond_barrier;
+          Alcotest.test_case "zoo agrees with static claims" `Slow
+            test_empirical_zoo_agrees;
         ] );
       ("report", [ Alcotest.test_case "rendering" `Quick test_report_rendering ]);
       ( "figure2",

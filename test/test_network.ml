@@ -842,6 +842,243 @@ let test_network_genericity () =
        (Homomorphism.apply pi (out_of input)))
 
 (* ------------------------------------------------------------------ *)
+(* Causal clocks, provenance, and empirical coordination *)
+
+let traced_run ~variant ~policy ~transducer ~input sched =
+  let tracer = Trace.collector () in
+  let r = Run.run ~tracer ~variant ~policy ~transducer ~input sched in
+  (r, Trace.events tracer)
+
+(* Check the vector-clock laws on one recorded trace: hb is a strict
+   partial order that contains program order, Lamport clocks and trace
+   order are linear extensions of it, and — the strong claim — hb as
+   decided by the vector clocks coincides with the transitive closure of
+   the explicit program-order and message (origin) edges. *)
+let check_causal_laws name events =
+  check_bool (name ^ ": trace nonempty") true (events <> []);
+  let arr = Array.of_list events in
+  let n = Array.length arr in
+  let stamp i = Trace.stamp arr.(i) in
+  (* Explicit happens-before edges from the trace itself. *)
+  let edge = Array.make_matrix n n false in
+  let last : (Value.t, int) Hashtbl.t = Hashtbl.create 4 in
+  Array.iteri
+    (fun i (ev : Trace.event) ->
+      check_bool (name ^ ": indexes are 1-based positions") true
+        (ev.Trace.index = i + 1);
+      (match Hashtbl.find_opt last ev.Trace.node with
+      | Some j -> edge.(j).(i) <- true
+      | None -> ());
+      Hashtbl.replace last ev.Trace.node i;
+      List.iter (fun (_, o) -> edge.(o - 1).(i) <- true) ev.Trace.origins)
+    arr;
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      if edge.(i).(k) then
+        for j = 0 to n - 1 do
+          if edge.(k).(j) then edge.(i).(j) <- true
+        done
+    done
+  done;
+  let ok_closure = ref true and ok_order = ref true in
+  for i = 0 to n - 1 do
+    let si = stamp i in
+    if Causal.hb si si then ok_order := false;
+    for j = 0 to n - 1 do
+      let sj = stamp j in
+      if Causal.hb si sj <> edge.(i).(j) then ok_closure := false;
+      if Causal.hb si sj then begin
+        (* strictness + the two linear extensions *)
+        if Causal.hb sj si then ok_order := false;
+        if i >= j then ok_order := false;
+        if si.Causal.lamport >= sj.Causal.lamport then ok_order := false;
+        if Causal.concurrent si sj then ok_order := false
+      end
+    done
+  done;
+  check_bool (name ^ ": hb = closure of program+message edges") true
+    !ok_closure;
+  check_bool
+    (name ^ ": hb strict; trace order and lamport are linear extensions")
+    true !ok_order;
+  (* The vector support names exactly the nodes of the causal past. *)
+  let ok_support = ref true in
+  for i = 0 to n - 1 do
+    let expected = ref Value.Set.empty in
+    for j = 0 to n - 1 do
+      if j = i || edge.(j).(i) then
+        expected := Value.Set.add arr.(j).Trace.node !expected
+    done;
+    if
+      not
+        (Value.Set.equal !expected
+           (Value.Set.of_list (Causal.support (stamp i).Causal.vector)))
+    then ok_support := false
+  done;
+  check_bool (name ^ ": vector support = nodes of the causal past") true
+    !ok_support
+
+let causal_zoo_cases =
+  let tc_input = Instance.of_list [ e 1 2; e 2 3; e 3 4 ] in
+  let game = Instance.of_strings [ "Move(1,2)"; "Move(2,3)"; "Move(3,4)" ] in
+  [
+    ( "broadcast/tc",
+      Strategies.Broadcast.transducer Zoo.tc,
+      Zoo.tc, Config.oblivious, Policy.hash_fact graph net12, tc_input );
+    ( "absence/comp-tc",
+      Strategies.Absence.transducer Zoo.comp_tc,
+      Zoo.comp_tc, Config.policy_aware, Policy.hash_fact graph net12,
+      Instance.of_list [ e 1 2; e 2 3 ] );
+    ( "domain-request/comp-tc",
+      Strategies.Domain_request.transducer Zoo.comp_tc,
+      Zoo.comp_tc, Config.policy_aware, Policy.hash_value graph net12,
+      Instance.of_list [ e 1 2; e 2 3 ] );
+    ( "domain-request/winmove",
+      Strategies.Domain_request.transducer Zoo.winmove,
+      Zoo.winmove, Config.policy_aware,
+      Policy.hash_value Zoo.winmove.Query.input net12, game );
+  ]
+
+let test_vector_clock_laws () =
+  List.iter
+    (fun (name, transducer, _query, variant, policy, input) ->
+      List.iter
+        (fun (sname, sched) ->
+          let _, events = traced_run ~variant ~policy ~transducer ~input sched in
+          check_causal_laws (name ^ "/" ^ sname) events)
+        [
+          ("rr", Run.Round_robin);
+          ("random", Run.Random { seed = 11; steps = 60 });
+        ])
+    causal_zoo_cases
+
+let test_provenance_replay_validates () =
+  List.iter
+    (fun (name, transducer, query, variant, policy, input) ->
+      let r, events = traced_run ~variant ~policy ~transducer ~input
+          Run.Round_robin
+      in
+      check_bool (name ^ ": quiesced") true r.Run.quiesced;
+      check_bool (name ^ ": correct") true
+        (Instance.equal r.Run.outputs (Query.apply query input));
+      check_bool (name ^ ": has outputs to explain") false
+        (Instance.is_empty r.Run.outputs);
+      Instance.iter
+        (fun fact ->
+          match Provenance.cone_of events fact with
+          | None ->
+            Alcotest.failf "%s: no cone for %s" name (Fact.to_string fact)
+          | Some cone ->
+            check_bool (name ^ ": anchor outputs the fact") true
+              (List.exists (Fact.equal fact)
+                 cone.Provenance.anchor.Trace.output_delta);
+            (match
+               Provenance.validate ~variant ~policy ~transducer ~input cone
+             with
+            | Ok () -> ()
+            | Error m ->
+              Alcotest.failf "%s: cone of %s fails replay: %s" name
+                (Fact.to_string fact) m))
+        r.Run.outputs)
+    causal_zoo_cases
+
+let test_provenance_rejects_truncated_cone () =
+  (* Dropping the origin of a delivered copy must break the replay: the
+     delivery can no longer be matched to a pending send. *)
+  let variant = Config.policy_aware in
+  let transducer = Strategies.Domain_request.transducer Zoo.comp_tc in
+  let policy = Policy.hash_value graph net12 in
+  let input = Instance.of_list [ e 1 2; e 2 3 ] in
+  let r, events = traced_run ~variant ~policy ~transducer ~input
+      Run.Round_robin
+  in
+  let broken = ref 0 in
+  Instance.iter
+    (fun fact ->
+      match Provenance.cone_of events fact with
+      | None -> ()
+      | Some cone ->
+        (match cone.Provenance.anchor.Trace.origins with
+        | [] -> ()
+        | (_, o) :: _ ->
+          let truncated =
+            {
+              cone with
+              Provenance.events =
+                List.filter
+                  (fun (ev : Trace.event) -> ev.Trace.index <> o)
+                  cone.Provenance.events;
+            }
+          in
+          incr broken;
+          check_bool
+            (Fact.to_string fact ^ ": truncated cone fails validation")
+            true
+            (Result.is_error
+               (Provenance.validate ~variant ~policy ~transducer ~input
+                  truncated))))
+    r.Run.outputs;
+  check_bool "some cone actually exercised the negative path" true
+    (!broken > 0)
+
+let test_detect_winmove_policies () =
+  (* The "sometimes coordinated" query: good placements give cut-free
+     runs, the scattering placement forces every win's cone to span the
+     network. *)
+  let net3 = Distributed.network_of_ints [ 1; 2; 3 ] in
+  let input = Instance.of_strings [ "Move(1,2)"; "Move(2,3)"; "Move(3,4)" ] in
+  let transducer = Strategies.Domain_request.transducer Zoo.winmove in
+  let schema = Zoo.winmove.Query.input in
+  let coordinated policy =
+    let r, events =
+      traced_run ~variant:Config.policy_aware ~policy ~transducer ~input
+        Run.Round_robin
+    in
+    check_bool (Policy.name policy ^ ": quiesced") true r.Run.quiesced;
+    check_bool (Policy.name policy ^ ": correct") true
+      (Instance.equal r.Run.outputs (Query.apply Zoo.winmove input));
+    let report = Detect.analyze ~network:net3 events in
+    check_bool (Policy.name policy ^ ": report covers all outputs") true
+      (List.length report.Detect.facts = Instance.cardinal r.Run.outputs);
+    report.Detect.coordinated
+  in
+  check_bool "replicate-all run has no heard-from-all cut" false
+    (coordinated (Policy.replicate_all schema net3));
+  check_bool "single-node run has no heard-from-all cut" false
+    (coordinated (Policy.single schema net3 (v 1)));
+  check_bool "scatter run is empirically coordinated" true
+    (coordinated (Calm_core.Empirical.scatter_policy schema net3))
+
+let test_sweep_traces_jobs_identical () =
+  let input = Instance.of_list [ e 1 2; e 2 3; e 3 4 ] in
+  let transducer = Strategies.Broadcast.transducer Zoo.tc in
+  let cells =
+    List.concat_map
+      (fun policy ->
+        List.map
+          (fun (sname, sched) ->
+            (Policy.name policy ^ "/" ^ sname, policy, sched))
+          Netquery.default_schedulers)
+      (Netquery.default_policies graph net12)
+  in
+  let jsonl jobs =
+    let results =
+      Run.sweep ~jobs ~variant:Config.policy_aware ~transducer ~input cells
+    in
+    Trace.sweep_to_jsonl (List.map (fun (l, _, ev) -> (l, ev)) results)
+  in
+  let baseline = jsonl 1 in
+  check_bool "export nonempty" true (String.length baseline > 0);
+  List.iter
+    (fun jobs ->
+      check_bool
+        (Printf.sprintf "causal JSONL at jobs=%d byte-identical to jobs=1"
+           jobs)
+        true
+        (String.equal baseline (jsonl jobs)))
+    [ 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
 (* qcheck properties *)
 
 let gen_graph =
@@ -1036,6 +1273,18 @@ let () =
             test_explore_finds_starvation;
           Alcotest.test_case "absence consistent" `Slow
             test_explore_absence_consistent;
+        ] );
+      ( "causal",
+        [
+          Alcotest.test_case "vector-clock laws" `Slow test_vector_clock_laws;
+          Alcotest.test_case "provenance replay validates" `Slow
+            test_provenance_replay_validates;
+          Alcotest.test_case "truncated cone rejected" `Quick
+            test_provenance_rejects_truncated_cone;
+          Alcotest.test_case "win-move detector per policy" `Slow
+            test_detect_winmove_policies;
+          Alcotest.test_case "sweep traces byte-identical under jobs" `Slow
+            test_sweep_traces_jobs_identical;
         ] );
       ( "theorem-4.5",
         [

@@ -58,6 +58,64 @@ let test_json_roundtrip () =
         (Result.is_error (of_string bad)))
     [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2"; "{'a':1}" ]
 
+(* Strings are byte sequences: the printer must emit pure ASCII (every
+   control byte, DEL, and byte >= 0x80 escaped as \u00XX) and the parser
+   must decode it back to the identical bytes — including NUL, ESC
+   sequences, UTF-8 fragments, and lone high bytes. *)
+let adversarial_samples =
+  [
+    "\x00";
+    "\x00\x01\x02tail";
+    "\x7f";
+    "\x1b[31mred\x1b[0m";
+    "\xff\xfe";
+    "\xe2\x9c\x93 check";
+    "mixed \"quote\" \\ \n \xc3\xa9 \x05";
+    String.init 256 Char.chr;
+  ]
+
+let test_json_adversarial_bytes () =
+  let open Observe.Json in
+  List.iter
+    (fun s ->
+      let printed = to_string (String s) in
+      check_bool "printed form is pure printable ASCII" true
+        (String.for_all
+           (fun c -> Char.code c >= 0x20 && Char.code c < 0x7f)
+           printed);
+      match of_string printed with
+      | Ok (String s') -> check_bool "bytes survive" true (String.equal s s')
+      | Ok _ -> Alcotest.fail "reparsed to a non-string"
+      | Error m -> Alcotest.failf "reparse failed on %S: %s" s m)
+    adversarial_samples
+
+let gen_byte_string =
+  QCheck2.Gen.(
+    string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 0 48))
+
+let prop_json_string_bytes_roundtrip =
+  QCheck2.Test.make ~name:"Json print/parse identity on arbitrary bytes"
+    ~count:500 gen_byte_string (fun s ->
+      let printed = Observe.Json.to_string (Observe.Json.String s) in
+      String.for_all
+        (fun c -> Char.code c >= 0x20 && Char.code c < 0x7f)
+        printed
+      &&
+      match Observe.Json.of_string printed with
+      | Ok (Observe.Json.String s') -> String.equal s s'
+      | _ -> false)
+
+let prop_json_obj_keys_bytes_roundtrip =
+  QCheck2.Test.make ~name:"Json object keys survive arbitrary bytes"
+    ~count:200 gen_byte_string (fun k ->
+      let j =
+        Observe.Json.Obj
+          [ (k, Observe.Json.List [ Observe.Json.String k ]) ]
+      in
+      match Observe.Json.of_string (Observe.Json.to_string j) with
+      | Ok j' -> Observe.Json.equal j j'
+      | Error _ -> false)
+
 (* ------------------------------------------------------------------ *)
 (* Stable snapshots are byte-identical across jobs *)
 
@@ -185,9 +243,16 @@ let test_trace_jsonl_roundtrip () =
        ~input Network.Run.Round_robin);
   let events = Network.Trace.events tracer in
   check_bool "trace has events" true (events <> []);
+  (* Every event carries a causal stamp. *)
+  List.iter
+    (fun (ev : Network.Trace.event) ->
+      check_bool "lamport >= 1" true (ev.Network.Trace.lamport >= 1);
+      check_bool "vector nonempty" true (ev.Network.Trace.vector <> []))
+    events;
   match Network.Trace.of_jsonl (Network.Trace.to_jsonl events) with
   | Error m -> Alcotest.fail m
-  | Ok events' -> check_bool "trace roundtrip" true (events = events')
+  | Ok events' ->
+    check_bool "trace roundtrip (stamps included)" true (events = events')
 
 (* ------------------------------------------------------------------ *)
 (* Validators: accept the real artifacts, reject tampering *)
@@ -279,6 +344,62 @@ let test_validate_bench () =
                 ])
              good)))
 
+let test_validate_causal () =
+  let open Observe.Json in
+  (* The real exporter's document validates. *)
+  let input = Graph_gen.of_edges [ (1, 2); (2, 3) ] in
+  let policy = Network.Policy.hash_fact Graph_gen.schema net2 in
+  let tracer = Network.Trace.collector () in
+  ignore
+    (Network.Run.run ~tracer ~variant:Network.Config.policy_aware ~policy
+       ~transducer:(Strategies.Broadcast.transducer Zoo.tc)
+       ~input Network.Run.Round_robin);
+  let doc =
+    Network.Trace.to_causal_json ~network:net2 (Network.Trace.events tracer)
+  in
+  let j =
+    match of_string doc with
+    | Ok j -> j
+    | Error m -> Alcotest.failf "causal export is not JSON: %s" m
+  in
+  (match Observe.Schema_check.validate_causal j with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "real causal doc rejected: %s" m);
+  let swap key value = function
+    | Obj fields ->
+      Obj (List.map (fun (k, v) -> if k = key then (k, value) else (k, v)) fields)
+    | j -> j
+  in
+  let event ?(lamport = 1) ?(vector = Obj [ ("101", Int 1) ])
+      ?(origins = List []) () =
+    Obj
+      [
+        ("index", Int 1);
+        ("node", String "101");
+        ("lamport", Int lamport);
+        ("vector", vector);
+        ("origins", origins);
+        ("delivered", List []);
+        ("sent", List [ String "E(1,2)" ]);
+        ("output_delta", List []);
+      ]
+  in
+  let rejects name tampered =
+    check_bool (name ^ " rejected") true
+      (Result.is_error (Observe.Schema_check.validate_causal tampered))
+  in
+  rejects "wrong schema tag" (swap "schema" (String "bogus/v9") j);
+  rejects "empty network" (swap "network" (List []) j);
+  rejects "lamport 0" (swap "events" (List [ event ~lamport:0 () ]) j);
+  rejects "empty vector" (swap "events" (List [ event ~vector:(Obj []) () ]) j);
+  rejects "non-positive vector component"
+    (swap "events" (List [ event ~vector:(Obj [ ("101", Int 0) ]) () ]) j);
+  rejects "malformed origin pair"
+    (swap "events" (List [ event ~origins:(List [ Int 3 ]) () ]) j);
+  match Observe.Schema_check.validate_causal (swap "events" (List [ event () ]) j) with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "well-formed synthetic event rejected: %s" m
+
 (* ------------------------------------------------------------------ *)
 (* Regression: parallel sweeps carry traces *)
 
@@ -335,7 +456,16 @@ let () =
   Alcotest.run "observe"
     [
       ( "json",
-        [ Alcotest.test_case "roundtrip+rejects" `Quick test_json_roundtrip ] );
+        [
+          Alcotest.test_case "roundtrip+rejects" `Quick test_json_roundtrip;
+          Alcotest.test_case "adversarial bytes" `Quick
+            test_json_adversarial_bytes;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [
+              prop_json_string_bytes_roundtrip;
+              prop_json_obj_keys_bytes_roundtrip;
+            ] );
       ( "determinism-wall",
         [
           Alcotest.test_case "sweep grid metrics" `Quick
@@ -359,6 +489,8 @@ let () =
           Alcotest.test_case "metrics accept/reject" `Quick
             test_validate_metrics;
           Alcotest.test_case "bench accept/reject" `Quick test_validate_bench;
+          Alcotest.test_case "causal accept/reject" `Quick
+            test_validate_causal;
         ] );
       ( "regressions",
         [
