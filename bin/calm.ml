@@ -55,6 +55,30 @@ let program_src_term =
   in
   Term.(ret (const combine $ program $ file))
 
+(* Like [program_src_term], but the source may be absent (commands with a
+   --fixture mode validate its presence themselves). *)
+let program_src_opt_term =
+  let program =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "program"; "p" ] ~docv:"RULES" ~doc:"Program text.")
+  in
+  let file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "file"; "f" ] ~docv:"FILE" ~doc:"Program file.")
+  in
+  let combine program file =
+    match (program, file) with
+    | Some s, None -> `Ok (Some s)
+    | None, Some f -> `Ok (Some (read_file f))
+    | None, None -> `Ok None
+    | Some _, Some _ -> `Error (false, "give only one of --program, --file")
+  in
+  Term.(ret (const combine $ program $ file))
+
 let outputs_term =
   Arg.(
     value
@@ -362,6 +386,51 @@ let scheduler_of nodes seed = function
   | `Rr -> Network.Run.Round_robin
   | `Rand -> Network.Run.Random { seed; steps = 50 * nodes }
   | `Stingy -> Network.Run.Stingy { seed; steps = 80 * nodes }
+  | `Adv -> Network.Run.Adversarial { steps = 50 * nodes }
+
+let scheduler_enum =
+  Arg.enum
+    [
+      ("round-robin", `Rr);
+      ("random", `Rand);
+      ("stingy", `Stingy);
+      ("adversarial", `Adv);
+    ]
+
+let faults_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults" ] ~docv:"PLAN"
+        ~doc:
+          "Wrap the scheduler(s) in a fault plan: semicolon-separated \
+           clauses seed=S, dup=PxK, loss=P:D, horizon=H, crash=N\\@R, \
+           part=G1|G2\\@R+D (e.g. \
+           'seed=7;dup=0.4x3;loss=0.25:2;crash=2\\@4;part=1|2,3\\@2+3'), \
+           or 'default' for a representative all-faults plan. Faulty \
+           runs are deterministic from the seed; quiescence additionally \
+           requires every fault to have struck and healed.")
+
+let faults_of_flag = function
+  | None -> None
+  | Some "default" -> Some Network.Fault.default
+  | Some s -> (
+    match Network.Fault.of_string s with
+    | Ok plan -> Some plan
+    | Error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 1)
+
+let with_faults faults sched =
+  match faults with
+  | None -> sched
+  | Some plan -> Network.Run.Faulty { base = sched; plan }
+
+let faulty_schedulers plan schedulers =
+  List.map
+    (fun (sname, sched) ->
+      (sname ^ "+faults", Network.Run.Faulty { base = sched; plan }))
+    schedulers
 
 (* ------------------------------------------------------------------ *)
 (* calm simulate *)
@@ -370,11 +439,9 @@ let simulate_cmd =
   let scheduler_term =
     Arg.(
       value
-      & opt
-          (enum [ ("round-robin", `Rr); ("random", `Rand); ("stingy", `Stingy) ])
-          `Rr
+      & opt scheduler_enum `Rr
       & info [ "scheduler"; "s" ] ~docv:"SCHED"
-          ~doc:"round-robin, random, or stingy.")
+          ~doc:"round-robin, random, stingy, or adversarial.")
   in
   let seed_term =
     Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Scheduler seed.")
@@ -428,11 +495,9 @@ let run_cmd =
   let scheduler_term =
     Arg.(
       value
-      & opt
-          (enum [ ("round-robin", `Rr); ("random", `Rand); ("stingy", `Stingy) ])
-          `Rr
+      & opt scheduler_enum `Rr
       & info [ "scheduler"; "s" ] ~docv:"SCHED"
-          ~doc:"round-robin, random, or stingy.")
+          ~doc:"round-robin, random, stingy, or adversarial.")
   in
   let seed_term =
     Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Scheduler seed.")
@@ -467,7 +532,7 @@ let run_cmd =
              track per node on the Lamport time axis, message deliveries \
              as flow arrows (open in Perfetto or chrome://tracing).")
   in
-  let run src outputs facts facts_file nodes scheduler seed causal_out
+  let run src outputs facts facts_file nodes scheduler seed faults causal_out
       causal_dot causal_chrome obs =
     with_observability obs @@ fun () ->
     let program = load_program_any ~outputs src in
@@ -477,7 +542,9 @@ let run_cmd =
     let compiled = compile_or_exit program in
     let network = make_network nodes in
     let policy = default_policy_for compiled network in
-    let sched = scheduler_of nodes seed scheduler in
+    let sched =
+      with_faults (faults_of_flag faults) (scheduler_of nodes seed scheduler)
+    in
     let tracer =
       if causal_out <> None || causal_dot <> None || causal_chrome <> None
       then Some (Network.Trace.collector ())
@@ -488,11 +555,13 @@ let run_cmd =
         ~policy ~transducer:compiled.Calm_core.Compile.transducer ~input sched
     in
     Printf.printf
-      "policy=%s quiesced=%b rounds=%d transitions=%d messages=%d \
-       deliveries=%d\n"
-      (Network.Policy.name policy) result.Network.Run.quiesced
-      result.Network.Run.rounds result.Network.Run.transitions
-      result.Network.Run.messages_sent result.Network.Run.deliveries;
+      "policy=%s scheduler=%s quiesced=%b rounds=%d transitions=%d \
+       messages=%d deliveries=%d\n"
+      (Network.Policy.name policy)
+      (Network.Run.scheduler_label sched)
+      result.Network.Run.quiesced result.Network.Run.rounds
+      result.Network.Run.transitions result.Network.Run.messages_sent
+      result.Network.Run.deliveries;
     Printf.printf "output (%d facts): %s\n"
       (Instance.cardinal result.Network.Run.outputs)
       (Instance.to_string result.Network.Run.outputs);
@@ -516,11 +585,12 @@ let run_cmd =
        ~doc:
          "compile a program and run it once on a simulated network \
           (instrumented; see --metrics-out / --trace-out / --profile / \
-          --causal-out / --causal-dot / --causal-chrome)")
+          --causal-out / --causal-dot / --causal-chrome / --faults)")
     Term.(
       const run $ program_src_term $ outputs_term $ facts_term
       $ facts_file_term $ nodes_term $ scheduler_term $ seed_term
-      $ causal_out_term $ causal_dot_term $ causal_chrome_term $ obs_term)
+      $ faults_term $ causal_out_term $ causal_dot_term
+      $ causal_chrome_term $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* calm sweep *)
@@ -538,7 +608,7 @@ let sweep_cmd =
              happens-before — so the bytes are identical under any \
              $(b,--jobs).")
   in
-  let run src outputs facts facts_file nodes jobs traces_out obs =
+  let run src outputs facts facts_file nodes jobs faults traces_out obs =
     with_observability obs @@ fun () ->
     let program = load_program_any ~outputs src in
     let input =
@@ -552,13 +622,18 @@ let sweep_cmd =
         ~domain_guided_only:compiled.Calm_core.Compile.domain_guided_only
         schema network
     in
+    let schedulers =
+      match faults_of_flag faults with
+      | None -> Network.Netquery.default_schedulers
+      | Some plan -> faulty_schedulers plan Network.Netquery.default_schedulers
+    in
     let cells =
       List.concat_map
         (fun policy ->
           List.map
             (fun (sname, sched) ->
               (Network.Policy.name policy ^ "/" ^ sname, policy, sched))
-            Network.Netquery.default_schedulers)
+            schedulers)
         policies
     in
     let results =
@@ -586,12 +661,12 @@ let sweep_cmd =
     (Cmd.info "sweep"
        ~doc:
          "run the full policy × scheduler grid for a program, optionally \
-          in parallel; stable metrics and --traces-out bytes are \
-          identical under any --jobs")
+          in parallel (and optionally under a --faults plan); stable \
+          metrics and --traces-out bytes are identical under any --jobs")
     Term.(
       const run $ program_src_term $ outputs_term $ facts_term
-      $ facts_file_term $ nodes_term $ jobs_term $ traces_out_term
-      $ obs_term)
+      $ facts_file_term $ nodes_term $ jobs_term $ faults_term
+      $ traces_out_term $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* calm netquery *)
@@ -662,11 +737,9 @@ let explain_cmd =
   let scheduler_term =
     Arg.(
       value
-      & opt
-          (enum [ ("round-robin", `Rr); ("random", `Rand); ("stingy", `Stingy) ])
-          `Rr
+      & opt scheduler_enum `Rr
       & info [ "scheduler"; "s" ] ~docv:"SCHED"
-          ~doc:"round-robin, random, or stingy.")
+          ~doc:"round-robin, random, stingy, or adversarial.")
   in
   let seed_term =
     Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Scheduler seed.")
@@ -680,7 +753,7 @@ let explain_cmd =
             "The output fact to explain, e.g. 'T(1,3)'. Defaults to every \
              output fact of the run.")
   in
-  let run src outputs facts facts_file nodes scheduler seed fact =
+  let run src outputs facts facts_file nodes scheduler seed faults fact =
     let program = load_program_any ~outputs src in
     let input =
       resolve_input (Datalog.Program.input_schema program) facts facts_file
@@ -688,7 +761,9 @@ let explain_cmd =
     let compiled = compile_any_or_exit program in
     let network = make_network nodes in
     let policy = default_policy_for compiled network in
-    let sched = scheduler_of nodes seed scheduler in
+    let sched =
+      with_faults (faults_of_flag faults) (scheduler_of nodes seed scheduler)
+    in
     let tracer = Network.Trace.collector () in
     let result =
       Network.Run.run ~tracer ~variant:compiled.Calm_core.Compile.variant
@@ -739,11 +814,12 @@ let explain_cmd =
        ~doc:
          "provenance of an output fact as its minimal causal cone — the \
           anchor transition plus its happens-before past — validated by \
-          replaying just the cone")
+          replaying just the cone (faulty runs replay too: their traces \
+          carry the dup/restart annotations)")
     Term.(
       const run $ program_src_term $ outputs_term $ facts_term
       $ facts_file_term $ nodes_term $ scheduler_term $ seed_term
-      $ fact_term)
+      $ faults_term $ fact_term)
 
 (* ------------------------------------------------------------------ *)
 (* calm detect *)
@@ -758,35 +834,67 @@ let detect_cmd =
              battery — the 'bad' placement that spreads connected data \
              across the whole network (win-move coordinates under it).")
   in
-  let run src outputs facts facts_file nodes jobs scatter =
-    let program = load_program_any ~outputs src in
-    let input =
-      resolve_input (Datalog.Program.input_schema program) facts facts_file
-    in
-    let compiled = compile_any_or_exit program in
-    let network = make_network nodes in
-    let schema = compiled.Calm_core.Compile.query.Query.input in
-    let policies =
-      let base =
-        Network.Netquery.default_policies
-          ~domain_guided_only:compiled.Calm_core.Compile.domain_guided_only
-          schema network
-      in
-      if scatter then
-        base @ [ Calm_core.Empirical.scatter_policy schema network ]
-      else base
-    in
-    let entry =
-      Calm_core.Empirical.detect_compiled ~network ~policies ~jobs
-        ~name:"program" ~compiled ~input ()
-    in
+  let fixture_term =
+    Arg.(
+      value
+      & opt (some (enum [ ("forced-disagree", `Forced) ])) None
+      & info [ "fixture" ] ~docv:"NAME"
+          ~doc:
+            "Run a built-in detector fixture instead of a program. \
+             'forced-disagree' is engineered so the static and empirical \
+             verdicts disagree in every run (a non-monotone query \
+             compiled at the wrong Monotone level, with the \
+             counterexample split away from the early-outputting node): \
+             the command must exit 2. Composes with $(b,--faults).")
+  in
+  let finish entry =
     Format.printf "%a@." Calm_core.Empirical.pp_entry entry;
-    if not entry.Calm_core.Empirical.agree then begin
+    if not entry.Calm_core.Empirical.agree then
       print_endline
         "verdict: observed coordination behaviour DISAGREES with the \
          static claim";
-      exit 2
-    end
+    exit (Calm_core.Empirical.exit_code entry)
+  in
+  let run src outputs facts facts_file nodes jobs scatter fixture faults =
+    let faults = faults_of_flag faults in
+    match fixture with
+    | Some `Forced ->
+      finish (Calm_core.Empirical.forced_disagree ~jobs ?faults ())
+    | None ->
+      let src =
+        match src with
+        | Some s -> s
+        | None ->
+          Printf.eprintf
+            "one of --program, --file or --fixture is required\n";
+          exit 1
+      in
+      let program = load_program_any ~outputs src in
+      let input =
+        resolve_input (Datalog.Program.input_schema program) facts facts_file
+      in
+      let compiled = compile_any_or_exit program in
+      let network = make_network nodes in
+      let schema = compiled.Calm_core.Compile.query.Query.input in
+      let policies =
+        let base =
+          Network.Netquery.default_policies
+            ~domain_guided_only:compiled.Calm_core.Compile.domain_guided_only
+            schema network
+        in
+        if scatter then
+          base @ [ Calm_core.Empirical.scatter_policy schema network ]
+        else base
+      in
+      let schedulers =
+        Option.map
+          (fun plan ->
+            faulty_schedulers plan Network.Netquery.default_schedulers)
+          faults
+      in
+      finish
+        (Calm_core.Empirical.detect_compiled ~network ~policies ?schedulers
+           ~jobs ~name:"program" ~compiled ~input ())
   in
   Cmd.v
     (Cmd.info "detect"
@@ -794,10 +902,12 @@ let detect_cmd =
          "empirical coordination detection: run the policy × scheduler \
           battery with causal tracing and check whether some correct \
           quiescent run avoids a heard-from-all-nodes cut, then compare \
-          against the static CALM placement")
+          against the static CALM placement (exit 0 on agreement, 2 on \
+          disagreement; see --faults and --fixture)")
     Term.(
-      const run $ program_src_term $ outputs_term $ facts_term
-      $ facts_file_term $ nodes_term $ jobs_term $ scatter_term)
+      const run $ program_src_opt_term $ outputs_term $ facts_term
+      $ facts_file_term $ nodes_term $ jobs_term $ scatter_term
+      $ fixture_term $ faults_term)
 
 (* ------------------------------------------------------------------ *)
 (* calm validate *)
@@ -875,6 +985,12 @@ let bench_diff_cmd =
       "monotone.pairs_scanned";
       "monotone.violations";
       "monotone.counterexample_size";
+      (* Fault-layer counters: seeded plans make these deterministic, so
+         drift means the fault schedule (and hence the run) changed. *)
+      "network.dup_deliveries";
+      "network.dropped";
+      "network.crashes";
+      "network.partition_rounds";
     ]
   in
   let baseline_term =

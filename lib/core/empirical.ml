@@ -74,6 +74,14 @@ let detect_compiled ?network ?policies ?schedulers ?jobs ~name ~compiled
     agree = observed_free = static_free;
   }
 
+let exit_code e = if e.agree then 0 else 2
+
+let faulty_schedulers plan schedulers =
+  List.map
+    (fun (sname, sched) ->
+      (sname ^ "+faults", Network.Run.Faulty { base = sched; plan }))
+    schedulers
+
 let detect_query ?network ?policies ?schedulers ?jobs ~name ~level ~query
     ~input () =
   detect_compiled ?network ?policies ?schedulers ?jobs ~name
@@ -109,9 +117,14 @@ let graph_input edges =
 (* Inputs are chosen with nonempty query output: a run that outputs
    nothing is vacuously cut-free, which would make any placement look
    coordination-free. *)
-let zoo ?jobs () =
+let zoo ?jobs ?faults () =
   let network = default_network in
-  let detect = detect_query ?jobs ~network in
+  let schedulers =
+    match faults with
+    | None -> Network.Netquery.default_schedulers
+    | Some plan -> faulty_schedulers plan Network.Netquery.default_schedulers
+  in
+  let detect = detect_query ?jobs ~network ~schedulers in
   [
     detect ~name:"tc" ~level:Hierarchy.Monotone ~query:Queries.Zoo.tc
       ~input:(graph_input [ (1, 2); (2, 3); (5, 1) ])
@@ -141,6 +154,48 @@ let zoo ?jobs () =
       ~input:(graph_input [ (1, 2); (2, 3); (3, 1) ])
       ();
   ]
+
+(* A fixture engineered to make the static and empirical verdicts
+   disagree, pinning the detector's failure exit code: compile the
+   non-monotone triangles-unless-two-disjoint query at the (wrong)
+   Monotone level, so the broadcast strategy runs it. The input holds
+   two vertex-disjoint triangles (values 1–3 and 4–6), so the expected
+   output is empty — but the policy splits them onto different nodes,
+   each node's very first transition sees only its own triangle (no
+   disjoint pair locally) and wrongly outputs it, and broadcast output
+   sections are append-only. Every run is incorrect, so the query is
+   observed coordinated while the static level claims Monotone —
+   DISAGREE, exit code 2.
+
+   The disagreement survives any fault plan that does not crash {e
+   both} triangle-holding nodes: duplication, loss, partitions, and
+   crashes elsewhere cannot retract a premature wrong output (a crash
+   of both nodes 1 and 2 would wipe them, and the restarts — now aware
+   of the other triangle via the persistent edb and redelivery — would
+   not reproduce them). {!Network.Fault.default} crashes only node 2. *)
+let forced_disagree ?jobs ?faults () =
+  let network = default_network in
+  let nodes = Array.of_list network in
+  let query = Queries.Zoo.triangles_unless_two_disjoint in
+  let policy =
+    Network.Policy.domain_guided ~name:"split" query.Query.input network
+      (fun v ->
+        match v with
+        | Value.Int i when i <= 3 -> [ nodes.(0) ]
+        | Value.Int _ -> [ nodes.(1) ]
+        | _ -> [ nodes.(2) ])
+  in
+  let schedulers = [ ("round_robin", Network.Run.Round_robin) ] in
+  let schedulers =
+    match faults with
+    | None -> schedulers
+    | Some plan -> faulty_schedulers plan schedulers
+  in
+  detect_compiled ?jobs ~network ~policies:[ policy ] ~schedulers
+    ~name:"forced_disagree"
+    ~compiled:(Compile.compile_any ~level:Hierarchy.Monotone query)
+    ~input:(graph_input [ (1, 2); (2, 3); (3, 1); (4, 5); (5, 6); (6, 4) ])
+    ()
 
 let pp_entry ppf e =
   Format.fprintf ppf "@[<v 2>%s: static %s (%s), observed %s — %s@ " e.name

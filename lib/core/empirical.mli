@@ -71,11 +71,28 @@ val scatter_policy : Schema.t -> Distributed.network -> Network.Policy.t
 val winmove_input : Instance.t
 (** The move chain [1→2→3→4] used for the win-move table. *)
 
-val zoo : ?jobs:int -> unit -> entry list
+val zoo : ?jobs:int -> ?faults:Network.Fault.plan -> unit -> entry list
 (** The E25 battery: tc (M), comp_tc and win-move (Mdisjoint — win-move
     with the scatter policy appended to the battery), and q_clique 3,
     q_star 2, triangles-unless-two-disjoint (Beyond, barrier strategy),
     each on inputs with nonempty output so the detector has anchors to
-    inspect. *)
+    inspect. With [faults], every scheduler in the battery is wrapped in
+    {!Network.Run.Faulty} under the given plan (labels gain a
+    ["+faults"] suffix): the static/empirical agreement must survive
+    duplication, loss, crash/restart, and partitions. *)
+
+val exit_code : entry -> int
+(** [0] when the entry agrees, [2] when it disagrees — the contract of
+    [calm detect]'s exit status. *)
+
+val forced_disagree :
+  ?jobs:int -> ?faults:Network.Fault.plan -> unit -> entry
+(** A fixture engineered to disagree (exit code 2): the non-monotone
+    triangles-unless-two-disjoint query compiled at the wrong [Monotone]
+    level, with a policy splitting the triangle from the disjoint edges,
+    run. Stays DISAGREE under any fault plan that does not crash {e
+    both} triangle-holding nodes (simultaneous wipes would retract the
+    premature wrong outputs); {!Network.Fault.default} crashes only
+    node 2. *)
 
 val pp_entry : Format.formatter -> entry -> unit

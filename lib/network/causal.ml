@@ -17,6 +17,10 @@ type t = {
   network : Value.t list;
   clocks : clock Value.Map.t;
   inflight : pending Value.Map.t;
+  (* Per recipient, per fact: the stamp of the last send matched to a
+     delivery — the causal origin a fault-layer redelivery reuses, so a
+     crash-recovery copy points at the send event it retransmits. *)
+  log : (int * clock) Fact.Map.t Value.Map.t;
 }
 
 let zero = { lam = 0; vec = Value.Map.empty }
@@ -32,6 +36,7 @@ let init network =
       List.fold_left
         (fun m n -> Value.Map.add n Fact.Map.empty m)
         Value.Map.empty network;
+    log = Value.Map.empty;
   }
 
 let join c1 c2 =
@@ -40,7 +45,7 @@ let join c1 c2 =
     vec = Value.Map.union (fun _ a b -> Some (max a b)) c1.vec c2.vec;
   }
 
-let step t ~node ~index ~delivered ~sent =
+let step ?(dup = 1) t ~node ~index ~delivered ~sent =
   let own =
     match Value.Map.find_opt node t.clocks with Some c -> c | None -> zero
   in
@@ -51,23 +56,31 @@ let step t ~node ~index ~delivered ~sent =
   in
   (* Pop the oldest pending send for each delivered copy and join its
      clock into the event's causal past. *)
-  let pend, origins_rev, joined =
+  let pend, origins_rev, joined, log_x =
     List.fold_left
-      (fun (pend, origins, acc) f ->
+      (fun (pend, origins, acc, log_x) f ->
         match Fact.Map.find_opt f pend with
         | Some ((idx, c) :: rest) ->
           let pend =
             if rest = [] then Fact.Map.remove f pend
             else Fact.Map.add f rest pend
           in
-          (pend, (f, idx) :: origins, join acc c)
+          (pend, (f, idx) :: origins, join acc c,
+           Fact.Map.add f (idx, c) log_x)
         | Some [] | None ->
           invalid_arg
             (Printf.sprintf
                "Causal.step: delivered copy of %s at node %s has no \
                 pending send"
                (Fact.to_string f) (Value.to_string node)))
-      (pend, [], own) delivered
+      (pend, [], own,
+       match Value.Map.find_opt node t.log with
+       | Some l -> l
+       | None -> Fact.Map.empty)
+      delivered
+  in
+  let log =
+    if delivered = [] then t.log else Value.Map.add node log_x t.log
   in
   let tick =
     {
@@ -80,7 +93,9 @@ let step t ~node ~index ~delivered ~sent =
   in
   let inflight = Value.Map.add node pend t.inflight in
   (* [Config.transition] broadcasts every sent fact to every other node:
-     enqueue one pending stamp per (fact, recipient) copy. *)
+     enqueue one pending stamp per (fact, recipient) copy — [dup] stamps
+     when the fault layer duplicated this transition's sends. *)
+  let entries = List.init dup (fun _ -> (index, tick)) in
   let inflight =
     if sent = [] then inflight
     else
@@ -96,19 +111,94 @@ let step t ~node ~index ~delivered ~sent =
                      (fun p f ->
                        Fact.Map.update f
                          (fun q ->
-                           Some (Option.value q ~default:[] @ [ (index, tick) ]))
+                           Some (Option.value q ~default:[] @ entries))
                          p)
                      p sent))
               inflight)
         inflight t.network
   in
-  let t = { t with clocks = Value.Map.add node tick t.clocks; inflight } in
+  let t =
+    { t with clocks = Value.Map.add node tick t.clocks; inflight; log }
+  in
   ( t,
     {
       lamport = tick.lam;
       vector = Value.Map.bindings tick.vec;
       origins = List.rev origins_rev;
     } )
+
+(* -- fault hooks ----------------------------------------------------- *)
+
+type held = (int * clock) list
+
+let hold t ~recipient ~fact ~copies =
+  let pend =
+    match Value.Map.find_opt recipient t.inflight with
+    | Some p -> p
+    | None -> Fact.Map.empty
+  in
+  match Fact.Map.find_opt fact pend with
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Causal.hold: no pending send of %s to %s"
+         (Fact.to_string fact) (Value.to_string recipient))
+  | Some q ->
+    let n = List.length q in
+    if n < copies then
+      invalid_arg
+        (Printf.sprintf "Causal.hold: only %d pending copies of %s to %s" n
+           (Fact.to_string fact) (Value.to_string recipient))
+    else
+      (* The held copies are the newest entries: holds strike the sends
+         of the transition that just ran. *)
+      let kept = List.filteri (fun i _ -> i < n - copies) q in
+      let taken = List.filteri (fun i _ -> i >= n - copies) q in
+      let pend =
+        if kept = [] then Fact.Map.remove fact pend
+        else Fact.Map.add fact kept pend
+      in
+      ({ t with inflight = Value.Map.add recipient pend t.inflight }, taken)
+
+let release t ~recipient ~fact held =
+  let pend =
+    match Value.Map.find_opt recipient t.inflight with
+    | Some p -> p
+    | None -> Fact.Map.empty
+  in
+  let pend =
+    Fact.Map.update fact
+      (fun q -> Some (Option.value q ~default:[] @ held))
+      pend
+  in
+  { t with inflight = Value.Map.add recipient pend t.inflight }
+
+let redeliver t ~node ~facts =
+  let log_x =
+    match Value.Map.find_opt node t.log with
+    | Some l -> l
+    | None -> Fact.Map.empty
+  in
+  let pend =
+    match Value.Map.find_opt node t.inflight with
+    | Some p -> p
+    | None -> Fact.Map.empty
+  in
+  let pend =
+    List.fold_left
+      (fun pend f ->
+        match Fact.Map.find_opt f log_x with
+        | None ->
+          invalid_arg
+            (Printf.sprintf
+               "Causal.redeliver: %s was never delivered to %s"
+               (Fact.to_string f) (Value.to_string node))
+        | Some entry ->
+          Fact.Map.update f
+            (fun q -> Some (Option.value q ~default:[] @ [ entry ]))
+            pend)
+      pend facts
+  in
+  { t with inflight = Value.Map.add node pend t.inflight }
 
 (* -- happens-before on recorded vectors ----------------------------- *)
 

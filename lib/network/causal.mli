@@ -37,14 +37,45 @@ type t
 val init : Distributed.network -> t
 
 val step :
+  ?dup:int ->
   t -> node:Value.t -> index:int -> delivered:Fact.t list ->
   sent:Fact.t list -> t * stamp
 (** Account for one transition: [delivered] lists the consumed message
     copies (with multiplicity, as {!Relational.Multiset.to_list}),
     [sent] the facts broadcast to every other node, [index] the event's
-    transition number. @raise Invalid_argument if a delivered copy has
-    no pending send — i.e. the calls do not replay an actual run from
-    its initial configuration. *)
+    transition number. [dup] (default 1) is the fault layer's
+    duplication factor: that many pending stamps are enqueued per
+    (sent fact, recipient), matching the duplicated buffer copies.
+    @raise Invalid_argument if a delivered copy has no pending send —
+    i.e. the calls do not replay an actual run from its initial
+    configuration. *)
+
+(** {1 Fault hooks}
+
+    The fault layer ({!Fault}, driven by {!Run}) keeps the invariant
+    that each (recipient, fact) pending queue is exactly as long as the
+    fact's multiplicity in the recipient's buffer. Every buffer
+    manipulation it performs is mirrored here. *)
+
+type held
+(** Pending stamps removed from a queue by {!hold}, to be re-enqueued by
+    {!release} when the lost or partitioned copies are retransmitted. *)
+
+val hold : t -> recipient:Value.t -> fact:Fact.t -> copies:int -> t * held
+(** Remove the [copies] newest pending stamps of [fact] at [recipient]
+    (the sends of the transition that just ran).
+    @raise Invalid_argument if fewer copies are pending. *)
+
+val release : t -> recipient:Value.t -> fact:Fact.t -> held -> t
+(** Re-enqueue stamps taken by {!hold}: the retransmitted copies carry
+    their original send events, so the happens-before edge points at the
+    send being retransmitted. *)
+
+val redeliver : t -> node:Value.t -> facts:Fact.t list -> t
+(** Crash redelivery: for each fact, re-enqueue one pending stamp from
+    the internal delivered-origin log (the last send matched to a
+    delivery of that fact at [node]).
+    @raise Invalid_argument if a fact was never delivered to [node]. *)
 
 (* -- happens-before on recorded vectors ----------------------------- *)
 

@@ -9,6 +9,7 @@ module Transducer = Transducer
 module Config = Config
 module Causal = Causal
 module Trace = Trace
+module Fault = Fault
 module Run = Run
 module Provenance = Provenance
 module Detect = Detect

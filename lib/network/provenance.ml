@@ -46,10 +46,54 @@ let replay ~variant ~policy ~transducer ~input cone =
     let config =
       List.fold_left
         (fun config e ->
+          (* Faulty traces carry the annotations needed to replay them:
+             a restart wipes the node's state and re-injects the logged
+             redeliveries; loss/partition holds need nothing (the replay
+             buffer is a superset of the real one, so sub-checks pass
+             and extra copies are simply never delivered). *)
+          let config =
+            if not e.Trace.restart then config
+            else
+              let state =
+                Value.Map.add e.Trace.node Instance.empty
+                  config.Config.state
+              in
+              let buffer =
+                Value.Map.update e.Trace.node
+                  (fun b ->
+                    Some
+                      (List.fold_left
+                         (fun b f -> Multiset.add f b)
+                         (Option.value b ~default:Multiset.empty)
+                         e.Trace.injected))
+                  config.Config.buffer
+              in
+              { Config.state; buffer }
+          in
           let config', stats =
             Config.transition ~variant ~policy ~transducer ~input config
               ~node:e.Trace.node
               ~deliver:(Multiset.of_list e.Trace.delivered)
+          in
+          (* Duplication enqueued [dup]-fold copies in the real run;
+             mirror the extras so later deliveries of those copies
+             replay. *)
+          let config' =
+            if e.Trace.dup <= 1 || e.Trace.sent = [] then config'
+            else
+              let extra =
+                List.fold_left
+                  (fun m f -> Multiset.add ~copies:(e.Trace.dup - 1) f m)
+                  Multiset.empty e.Trace.sent
+              in
+              let buffer =
+                Value.Map.mapi
+                  (fun y b ->
+                    if Value.equal y e.Trace.node then b
+                    else Multiset.union b extra)
+                  config'.Config.buffer
+              in
+              { config' with Config.buffer }
           in
           if
             not

@@ -4,6 +4,8 @@ type scheduler =
   | Round_robin
   | Random of { seed : int; steps : int }
   | Stingy of { seed : int; steps : int }
+  | Adversarial of { steps : int }
+  | Faulty of { base : scheduler; plan : Fault.plan }
 
 type result = {
   config : Config.t;
@@ -34,10 +36,12 @@ let m_quiescence_round = Observe.Metrics.gauge "net.quiescence_round"
 let m_heartbeat_steps = Observe.Metrics.counter "net.heartbeat_steps"
 let m_run = Observe.Metrics.timing "net.run"
 
-let scheduler_label = function
+let rec scheduler_label = function
   | Round_robin -> "round_robin"
   | Random _ -> "random"
   | Stingy _ -> "stingy"
+  | Adversarial _ -> "adversarial"
+  | Faulty { base; _ } -> scheduler_label base ^ "+faults"
 
 let snapshot config =
   ( config.Config.state,
@@ -46,8 +50,184 @@ let snapshot config =
 let snapshot_equal (s1, b1) (s2, b2) =
   Value.Map.equal Instance.equal s1 s2 && Value.Map.equal Fact.Set.equal b1 b2
 
-let step ?tracer ~variant ~policy ~transducer ~input counters config node
-    deliver =
+(* ------------------------------------------------------------------ *)
+(* Adversarial scheduling state: a per-(recipient, fact) multiset of
+   message depths. A transition's depth is one more than the deepest
+   message it consumed (or than the node's previous depth), and its
+   sends carry that depth — so greedily delivering the deepest pending
+   copy maximizes the causal depth of the run, the adversary that
+   stresses reorder-sensitivity the hardest. Deterministic: no RNG,
+   ties broken by (node, fact) order. *)
+
+type adv = {
+  mutable depths : int list Fact.Map.t Value.Map.t;  (* desc-sorted *)
+  mutable node_depth : int Value.Map.t;
+  mutable rr : int;  (* heartbeat rotation when nothing is pending *)
+}
+
+let adv_init () =
+  { depths = Value.Map.empty; node_depth = Value.Map.empty; rr = 0 }
+
+let rec insert_desc d = function
+  | [] -> [ d ]
+  | x :: _ as l when d >= x -> d :: l
+  | x :: rest -> x :: insert_desc d rest
+
+let adv_push a y f ~depth ~copies =
+  if copies > 0 then
+    a.depths <-
+      Value.Map.update y
+        (fun m ->
+          let m = Option.value m ~default:Fact.Map.empty in
+          Some
+            (Fact.Map.update f
+               (fun l ->
+                 let l = Option.value l ~default:[] in
+                 Some
+                   (List.fold_left
+                      (fun l _ -> insert_desc depth l)
+                      l
+                      (List.init copies (fun i -> i))))
+               m))
+        a.depths
+
+(* Remove up to [copies] of the deepest entries for (y, f); the deepest
+   removed is the consumed depth (0 when none were tracked). *)
+let adv_pop a y f ~copies =
+  match Value.Map.find_opt y a.depths with
+  | None -> 0
+  | Some m -> (
+    match Fact.Map.find_opt f m with
+    | None -> 0
+    | Some l ->
+      let taken = List.filteri (fun i _ -> i < copies) l in
+      let kept = List.filteri (fun i _ -> i >= copies) l in
+      let m =
+        if kept = [] then Fact.Map.remove f m else Fact.Map.add f kept m
+      in
+      a.depths <- Value.Map.add y m a.depths;
+      (match taken with [] -> 0 | d :: _ -> d))
+
+(* Remove up to [copies] entries of exactly [depth] (the entries a fault
+   hold just took out of the buffer). *)
+let adv_remove a y f ~depth ~copies =
+  match Value.Map.find_opt y a.depths with
+  | None -> ()
+  | Some m -> (
+    match Fact.Map.find_opt f m with
+    | None -> ()
+    | Some l ->
+      let removed = ref 0 in
+      let kept =
+        List.filter
+          (fun d ->
+            if d = depth && !removed < copies then begin
+              incr removed;
+              false
+            end
+            else true)
+          l
+      in
+      let m =
+        if kept = [] then Fact.Map.remove f m else Fact.Map.add f kept m
+      in
+      a.depths <- Value.Map.add y m a.depths)
+
+(* The deepest pending copy actually present in a buffer; ties resolve
+   to the smallest (node, fact) — map folds are in ascending key order,
+   and only strictly deeper candidates displace the incumbent. *)
+let adv_choose a config =
+  Value.Map.fold
+    (fun y m best ->
+      Fact.Map.fold
+        (fun f l best ->
+          match l with
+          | d :: _ when Multiset.mem f (Config.buffer_of config y) -> (
+            match best with
+            | Some (bd, _, _) when bd >= d -> best
+            | _ -> Some (d, y, f))
+          | _ -> best)
+        m best)
+    a.depths None
+
+(* ------------------------------------------------------------------ *)
+(* The per-run runtime: counters and tracer as before, plus the
+   optional fault state (Faulty wrapper) and adversarial state. *)
+
+type rt = {
+  counters : counters;
+  tracer : Trace.collector option;
+  fault : Fault.state option;
+  adv : adv option;
+}
+
+(* One transition of [node], with fault pre-processing (retransmission
+   releases, crash/restart), the transition itself ([deliver_of] reads
+   the post-fault buffer), and fault post-processing (duplication, loss
+   and partition holds), with the causal tracer and the adversarial
+   depth structure kept in sync with every buffer change. *)
+let do_step rt ~variant ~policy ~transducer ~input config node deliver_of =
+  let counters = rt.counters in
+  let traced = rt.tracer <> None in
+  (* -- fault pre-processing: releases due now, then crash/restart -- *)
+  let config, restart, injected =
+    match rt.fault with
+    | None -> (config, false, [])
+    | Some st ->
+      Fault.note_round st;
+      let config =
+        List.fold_left
+          (fun config (h : Fault.held_copy) ->
+            let buffer =
+              Value.Map.update h.Fault.recipient
+                (fun b ->
+                  Some
+                    (Multiset.add ~copies:h.Fault.copies h.Fault.fact
+                       (Option.value b ~default:Multiset.empty)))
+                config.Config.buffer
+            in
+            (match h.Fault.stamps with
+            | Some held when traced ->
+              counters.causal <-
+                Causal.release counters.causal ~recipient:h.Fault.recipient
+                  ~fact:h.Fault.fact held
+            | _ -> ());
+            (match rt.adv with
+            | Some a ->
+              adv_push a h.Fault.recipient h.Fault.fact ~depth:h.Fault.depth
+                ~copies:h.Fault.copies
+            | None -> ());
+            { config with Config.buffer })
+          config (Fault.take_due st)
+      in
+      if Fault.crash_due st ~node then begin
+        let injected = Fault.redelivery st ~node in
+        let state =
+          Value.Map.add node Instance.empty config.Config.state
+        in
+        let buffer =
+          Value.Map.update node
+            (fun b ->
+              Some
+                (List.fold_left
+                   (fun b f -> Multiset.add f b)
+                   (Option.value b ~default:Multiset.empty)
+                   injected))
+            config.Config.buffer
+        in
+        if traced && injected <> [] then
+          counters.causal <-
+            Causal.redeliver counters.causal ~node ~facts:injected;
+        (match rt.adv with
+        | Some a ->
+          List.iter (fun f -> adv_push a node f ~depth:0 ~copies:1) injected
+        | None -> ());
+        ({ Config.state; buffer }, true, injected)
+      end
+      else (config, false, [])
+  in
+  (* -- the transition itself --------------------------------------- *)
+  let deliver = deliver_of config in
   let config', stats =
     Config.transition ~variant ~policy ~transducer ~input config ~node
       ~deliver
@@ -55,13 +235,60 @@ let step ?tracer ~variant ~policy ~transducer ~input counters config node
   counters.n_transitions <- counters.n_transitions + 1;
   counters.n_messages <- counters.n_messages + stats.Config.messages_sent;
   counters.n_deliveries <- counters.n_deliveries + stats.Config.delivered;
-  (match tracer with
+  let sent = Instance.to_list stats.Config.sent_facts in
+  let recipients =
+    List.filter (fun y -> not (Value.equal y node)) (Policy.network policy)
+  in
+  (* -- adversarial bookkeeping: consume delivered depths ------------ *)
+  let send_depth =
+    match rt.adv with
+    | None -> 0
+    | Some a ->
+      let dmax =
+        Multiset.fold
+          (fun f n acc -> max acc (adv_pop a node f ~copies:n))
+          deliver 0
+      in
+      let nd =
+        max (Option.value (Value.Map.find_opt node a.node_depth) ~default:0)
+          dmax
+        + 1
+      in
+      a.node_depth <- Value.Map.add node nd a.node_depth;
+      nd
+  in
+  (* -- duplication --------------------------------------------------- *)
+  let dup, config' =
+    match rt.fault with
+    | None -> (1, config')
+    | Some st ->
+      let dup =
+        Fault.draw_dup st ~sends:(List.length sent * List.length recipients)
+      in
+      if dup <= 1 then (1, config')
+      else
+        let extra =
+          List.fold_left
+            (fun m f -> Multiset.add ~copies:(dup - 1) f m)
+            Multiset.empty sent
+        in
+        let buffer =
+          Value.Map.mapi
+            (fun y b ->
+              if List.exists (Value.equal y) recipients then
+                Multiset.union b extra
+              else b)
+            config'.Config.buffer
+        in
+        (dup, { config' with Config.buffer })
+  in
+  (* -- causal step + trace record ----------------------------------- *)
+  (match rt.tracer with
   | None -> ()
   | Some c ->
     let delivered = Multiset.to_list deliver in
-    let sent = Instance.to_list stats.Config.sent_facts in
     let causal', stamp =
-      Causal.step counters.causal ~node ~index:counters.n_transitions
+      Causal.step ~dup counters.causal ~node ~index:counters.n_transitions
         ~delivered ~sent
     in
     counters.causal <- causal';
@@ -75,16 +302,92 @@ let step ?tracer ~variant ~policy ~transducer ~input counters config node
         delivered;
         sent;
         output_delta = Instance.to_list stats.Config.output_delta;
+        dup;
+        restart;
+        injected;
       });
+  (* -- post-transition fault bookkeeping ----------------------------- *)
+  (match rt.fault with
+  | None -> ()
+  | Some st -> Fault.record_delivery st ~node (Multiset.support deliver));
+  (match rt.adv with
+  | None -> ()
+  | Some a ->
+    List.iter
+      (fun y ->
+        List.iter
+          (fun f -> adv_push a y f ~depth:send_depth ~copies:dup)
+          sent)
+      recipients);
+  (* -- loss and partition holds -------------------------------------- *)
+  let config' =
+    match rt.fault with
+    | None -> config'
+    | Some st ->
+      if sent = [] || recipients = [] then begin
+        Fault.tick st;
+        config'
+      end
+      else begin
+        let buffer =
+          List.fold_left
+            (fun buffer f ->
+              List.fold_left
+                (fun buffer y ->
+                  let release =
+                    match Fault.blocks st ~sender:node ~recipient:y with
+                    | Some r -> Some r
+                    | None -> Fault.draw_loss st
+                  in
+                  match release with
+                  | None -> buffer
+                  | Some release ->
+                    let stamps =
+                      if traced then begin
+                        let causal', held =
+                          Causal.hold counters.causal ~recipient:y ~fact:f
+                            ~copies:dup
+                        in
+                        counters.causal <- causal';
+                        Some held
+                      end
+                      else None
+                    in
+                    (match rt.adv with
+                    | Some a ->
+                      adv_remove a y f ~depth:send_depth ~copies:dup
+                    | None -> ());
+                    Fault.add_held st
+                      {
+                        Fault.recipient = y;
+                        fact = f;
+                        copies = dup;
+                        release;
+                        stamps;
+                        depth = send_depth;
+                      };
+                    Value.Map.update y
+                      (fun b ->
+                        Some
+                          (Multiset.diff
+                             (Option.value b ~default:Multiset.empty)
+                             (Multiset.add ~copies:dup f Multiset.empty)))
+                      buffer)
+                buffer recipients)
+            config'.Config.buffer sent
+        in
+        Fault.tick st;
+        { config' with Config.buffer }
+      end
+  in
   config'
 
 (* One full-delivery round-robin round. *)
-let full_round ?tracer ~variant ~policy ~transducer ~input counters config =
+let full_round rt ~variant ~policy ~transducer ~input config =
   List.fold_left
     (fun config node ->
-      let deliver = Config.buffer_of config node in
-      step ?tracer ~variant ~policy ~transducer ~input counters config node
-        deliver)
+      do_step rt ~variant ~policy ~transducer ~input config node (fun c ->
+          Config.buffer_of c node))
     config
     (Policy.network policy)
 
@@ -95,16 +398,16 @@ let random_submultiset st b =
       Multiset.add ~copies:keep f acc)
     b Multiset.empty
 
-let random_phase ?tracer ~variant ~policy ~transducer ~input ~stingy counters
-    st steps config =
+let random_phase rt ~variant ~policy ~transducer ~input ~stingy st steps
+    config =
   let network = Array.of_list (Policy.network policy) in
   let pick () = network.(Random.State.int st (Array.length network)) in
   let rec go k config =
     if k = 0 then config
     else
       let node = pick () in
-      let b = Config.buffer_of config node in
-      let deliver =
+      let deliver_of c =
+        let b = Config.buffer_of c node in
         if stingy then
           match Multiset.to_list b with
           | [] -> Multiset.empty
@@ -114,8 +417,34 @@ let random_phase ?tracer ~variant ~policy ~transducer ~input ~stingy counters
         else random_submultiset st b
       in
       go (k - 1)
-        (step ?tracer ~variant ~policy ~transducer ~input counters config node
-           deliver)
+        (do_step rt ~variant ~policy ~transducer ~input config node
+           deliver_of)
+  in
+  go steps config
+
+(* Greedy causal-depth maximization: deliver the single deepest pending
+   message copy; heartbeat round-robin when nothing is pending (so the
+   phase is fair and the run can still make progress from a cold
+   start). *)
+let adversarial_phase rt ~variant ~policy ~transducer ~input steps config =
+  let a =
+    match rt.adv with Some a -> a | None -> assert false
+  in
+  let network = Array.of_list (Policy.network policy) in
+  let rec go k config =
+    if k = 0 then config
+    else
+      match adv_choose a config with
+      | Some (_, y, f) ->
+        go (k - 1)
+          (do_step rt ~variant ~policy ~transducer ~input config y (fun _ ->
+               Multiset.add f Multiset.empty))
+      | None ->
+        let node = network.(a.rr mod Array.length network) in
+        a.rr <- a.rr + 1;
+        go (k - 1)
+          (do_step rt ~variant ~policy ~transducer ~input config node
+             (fun _ -> Multiset.empty))
   in
   go steps config
 
@@ -126,43 +455,73 @@ let run ?tracer ?(max_rounds = 500) ~variant ~policy ~transducer ~input
     "net.run"
   @@ fun () ->
   Observe.Metrics.time m_run @@ fun () ->
+  let base, plan =
+    match scheduler with
+    | Faulty { base = Faulty _; _ } ->
+      invalid_arg "Run.run: nested Faulty schedulers"
+    | Faulty { base; plan } ->
+      (* The empty plan is the base scheduler, byte for byte: no fault
+         state means no RNG draws, no metric rows, no trace deltas. *)
+      (base, if Fault.is_none plan then None else Some plan)
+    | s -> (s, None)
+  in
+  let network = Policy.network policy in
   let schema = transducer.Transducer.schema in
   let counters =
     {
       n_transitions = 0;
       n_messages = 0;
       n_deliveries = 0;
-      causal = Causal.init (Policy.network policy);
+      causal = Causal.init network;
     }
   in
-  let config0 = Config.start (Policy.network policy) in
+  let rt =
+    {
+      counters;
+      tracer;
+      fault = Option.map (fun p -> Fault.start p ~network) plan;
+      adv =
+        (match base with Adversarial _ -> Some (adv_init ()) | _ -> None);
+    }
+  in
+  let config0 = Config.start network in
   let config0 =
-    match scheduler with
+    match base with
     | Round_robin -> config0
     | Random { seed; steps } ->
-      random_phase ?tracer ~variant ~policy ~transducer ~input ~stingy:false
-        counters
+      random_phase rt ~variant ~policy ~transducer ~input ~stingy:false
         (Random.State.make [| seed |])
         steps config0
     | Stingy { seed; steps } ->
-      random_phase ?tracer ~variant ~policy ~transducer ~input ~stingy:true
-        counters
+      random_phase rt ~variant ~policy ~transducer ~input ~stingy:true
         (Random.State.make [| seed |])
         steps config0
+    | Adversarial { steps } ->
+      adversarial_phase rt ~variant ~policy ~transducer ~input steps config0
+    | Faulty _ -> assert false
   in
   let rec stabilize rounds prev prev_out config =
     if rounds >= max_rounds then (config, rounds, false)
     else begin
       let config' =
-        full_round ?tracer ~variant ~policy ~transducer ~input counters config
+        full_round rt ~variant ~policy ~transducer ~input config
       in
       Observe.Metrics.incr m_rounds;
       let out' = Instance.cardinal (Config.outputs schema config') in
       Observe.Metrics.observe m_round_output_delta
         (float_of_int (out' - prev_out));
       let snap = snapshot config' in
+      (* A faulty run may look quiescent while a crash is still
+         scheduled, a partition still up, or retransmissions still
+         pending: quiescence additionally requires the fault plan to be
+         exhausted, so eventual correctness is judged after every fault
+         has struck and healed. *)
+      let faults_done =
+        match rt.fault with None -> true | Some st -> Fault.quiescent st
+      in
       match prev with
-      | Some p when snapshot_equal p snap -> (config', rounds + 1, true)
+      | Some p when snapshot_equal p snap && faults_done ->
+        (config', rounds + 1, true)
       | _ -> stabilize (rounds + 1) (Some snap) out' config'
     end
   in
@@ -211,13 +570,14 @@ let heartbeat_prefix ?tracer ?(max_steps = 200) ~variant ~policy ~transducer
       causal = Causal.init (Policy.network policy);
     }
   in
+  let rt = { counters; tracer; fault = None; adv = None } in
   let config0 = Config.start (Policy.network policy) in
   let rec go k config =
     if k >= max_steps then (config, false)
     else
       let config' =
-        step ?tracer ~variant ~policy ~transducer ~input counters config node
-          Multiset.empty
+        do_step rt ~variant ~policy ~transducer ~input config node (fun _ ->
+            Multiset.empty)
       in
       if Instance.equal (Config.state_of config' node) (Config.state_of config node)
       then (config', true)

@@ -23,6 +23,28 @@ type scheduler =
   | Stingy of { seed : int; steps : int }
       (** like [Random] but delivers at most one message copy per
           transition — maximal reordering/delay *)
+  | Adversarial of { steps : int }
+      (** [steps] transitions that greedily maximize causal depth: each
+          step delivers the single pending message copy whose send has
+          the deepest happens-before chain, so information ping-pongs
+          along the longest dependency path the run admits — the
+          deterministic adversary that stresses reorder-sensitivity
+          hardest. Heartbeats round-robin when nothing is pending; then
+          round-robin to quiescence. No RNG: ties break by (node, fact)
+          order, so adversarial runs are reproducible without a seed. *)
+  | Faulty of { base : scheduler; plan : Fault.plan }
+      (** [base] under the fault plan: seeded duplication, loss with
+          delayed retransmission, crash/restart from the persistent
+          input partition, and healing partitions (see {!Fault}).
+          Quiescence is additionally gated on {!Fault.quiescent}, so
+          [quiesced = true] means the run survived every fault {e and}
+          stabilized afterwards. [Faulty] with {!Fault.none} is
+          byte-identical to [base] (result, trace, stable metrics).
+          Nesting [Faulty] raises [Invalid_argument]. *)
+
+val scheduler_label : scheduler -> string
+(** ["round_robin"], ["random"], ["stingy"], ["adversarial"]; [Faulty]
+    appends ["+faults"] to its base label. *)
 
 type result = {
   config : Config.t;

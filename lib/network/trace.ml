@@ -9,6 +9,14 @@ type event = {
   delivered : Fact.t list;
   sent : Fact.t list;
   output_delta : Fact.t list;
+  (* Fault annotations, at their defaults (1 / false / []) on
+     failure-free transitions. They are what makes faulty traces
+     replayable: Provenance.replay duplicates the sends [dup]-fold,
+     wipes the node's state on [restart], and re-injects [injected] into
+     its buffer before the transition. *)
+  dup : int;
+  restart : bool;
+  injected : Fact.t list;
 }
 
 let stamp e =
@@ -43,6 +51,11 @@ let sink_args e =
     ("sent", facts e.sent);
     ("output_delta", facts e.output_delta);
   ]
+  (* Fault fields only when non-default, so failure-free exports are
+     byte-identical to pre-fault ones. *)
+  @ (if e.dup <> 1 then [ ("dup", Observe.Json.Int e.dup) ] else [])
+  @ (if e.restart then [ ("restart", Observe.Json.Bool true) ] else [])
+  @ if e.injected <> [] then [ ("injected", facts e.injected) ] else []
 
 let record c e =
   c := e :: !c;
@@ -173,7 +186,40 @@ let event_of_json j =
   let* delivered = facts "delivered" in
   let* sent = facts "sent" in
   let* output_delta = facts "output_delta" in
-  Ok { index; node; lamport; vector; origins; delivered; sent; output_delta }
+  (* Fault annotations default to the failure-free values so pre-fault
+     traces parse unchanged. *)
+  let* dup =
+    match member "dup" j with
+    | None -> Ok 1
+    | Some (Int d) when d >= 1 -> Ok d
+    | Some _ -> Error "trace event: dup not a positive int"
+  in
+  let* restart =
+    match member "restart" j with
+    | None -> Ok false
+    | Some (Bool b) -> Ok b
+    | Some _ -> Error "trace event: restart not a bool"
+  in
+  let* injected =
+    match member "injected" j with
+    | None -> Ok []
+    | Some (List l) ->
+      (try
+         Ok
+           (List.map
+              (function
+                | String s -> Fact.of_string s
+                | _ -> invalid_arg "not a string")
+              l)
+       with Invalid_argument m ->
+         Error (Printf.sprintf "trace event: bad injected: %s" m))
+    | Some _ -> Error "trace event: injected not a list"
+  in
+  Ok
+    {
+      index; node; lamport; vector; origins; delivered; sent; output_delta;
+      dup; restart; injected;
+    }
 
 let of_jsonl s =
   let lines =

@@ -16,7 +16,19 @@ type event = {
                                  included *)
   sent : Fact.t list;        (** facts broadcast by this transition *)
   output_delta : Fact.t list;  (** output facts first produced here *)
+  dup : int;
+      (** fault duplication factor of this transition's sends (1 when
+          failure-free) *)
+  restart : bool;
+      (** the node crashed and lost its state just before this
+          transition *)
+  injected : Fact.t list;
+      (** message facts re-injected into the node's buffer on restart
+          (at-least-once redelivery) *)
 }
+(** The fault annotations serialize only when non-default, so
+    failure-free exports are byte-identical to pre-fault ones, and
+    pre-fault traces parse with failure-free annotations. *)
 
 val stamp : event -> Causal.stamp
 (** The event's causal stamp, for {!Causal.hb} / {!Causal.concurrent}. *)

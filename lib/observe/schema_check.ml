@@ -138,6 +138,25 @@ let validate_causal j =
                 | _ -> error "origin is not a [fact, send index] pair")
               0 origins
           in
+          (* Fault annotations are optional (present only when
+             non-default, so failure-free documents stay unchanged). *)
+          let* () =
+            match Json.member "dup" e with
+            | None -> Ok ()
+            | Some (Json.Int d) when d >= 1 -> Ok ()
+            | Some _ -> error "event #%d: dup is not an int >= 1" index
+          in
+          let* () =
+            match Json.member "restart" e with
+            | None | Some (Json.Bool _) -> Ok ()
+            | Some _ -> error "event #%d: restart is not a bool" index
+          in
+          let* () =
+            match Json.member "injected" e with
+            | None -> Ok ()
+            | Some (Json.List _) -> fact_list "injected" e
+            | Some _ -> error "event #%d: injected is not an array" index
+          in
           if vector = [] then error "event #%d has an empty vector" index
           else Ok ())
       0 events
