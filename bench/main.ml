@@ -1350,6 +1350,73 @@ let e26_fault_overhead () =
   Report.print t
 
 (* ================================================================== *)
+(* E27 — scan-time attribution: where the E1-class scans spend it      *)
+(* ================================================================== *)
+
+let e27_scan_attribution () =
+  let t =
+    Report.create
+      ~title:
+        "E27 / attribution: top-5 spans by self time on E1-class scans \
+         (the calm profile machinery; scan → base → stage/probe → rule)"
+      ~columns:[ "workload"; "span"; "count"; "self ms"; "share"; "annotations" ]
+  in
+  let bounds =
+    {
+      Checker.dom_size = 3;
+      fresh = 3;
+      max_base = 3;
+      max_ext = (if quick then 2 else 3);
+    }
+  in
+  let workload name q kind =
+    (* One private collector per workload: the span paths are the same
+       for every scan, so sharing a collector would aggregate the
+       workloads into one indistinguishable tree. *)
+    let c = Observe.Metrics.create () in
+    Observe.Metrics.with_current c (fun () ->
+        Observe.Profile.enable ();
+        Fun.protect ~finally:Observe.Profile.disable (fun () ->
+            ignore (Checker.check_exhaustive ~bounds kind q)));
+    let roots = Observe.Profile.spans c in
+    let scan_total =
+      List.fold_left (fun acc n -> acc +. n.Observe.Profile.total_s) 0. roots
+    in
+    let top5 =
+      Observe.Profile.flatten roots
+      |> List.sort (fun a b ->
+             compare b.Observe.Profile.self_s a.Observe.Profile.self_s)
+      |> List.filteri (fun i _ -> i < 5)
+    in
+    List.iter
+      (fun (n : Observe.Profile.node) ->
+        Report.add_row t
+          [
+            name;
+            String.concat "/" n.Observe.Profile.path;
+            string_of_int n.Observe.Profile.count;
+            Printf.sprintf "%.2f" (n.Observe.Profile.self_s *. 1e3);
+            Printf.sprintf "%.1f%%"
+              (100. *. n.Observe.Profile.self_s /. Float.max scan_total 1e-9);
+            String.concat " "
+              (List.map
+                 (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+                 n.Observe.Profile.annots);
+          ])
+      top5
+  in
+  workload "E1: comp-TC Mdisjoint scan" Zoo.comp_tc Classes.Disjoint;
+  workload "E1: win-move Mdisjoint scan" Zoo.winmove Classes.Disjoint;
+  workload "E1: TC M scan" Zoo.tc Classes.Plain;
+  Report.add_note t
+    "share = span self time / total scan wall. All three zoo queries \
+     carry staged witnesses, so probe dispatch plus the kernel stages \
+     (intern, dfs, wins) dominate; the witness/cache_hit/empty_before \
+     annotations tally which probe fast path answered. Span counts and \
+     annotations are jobs-invariant; timings are schedule-dependent.";
+  Report.print t
+
+(* ================================================================== *)
 (* Bechamel timing benches (E14 wall-clock + E15 engine)               *)
 (* ================================================================== *)
 
@@ -1488,6 +1555,7 @@ let () =
   experiment "E24" e24_engine_ablation;
   experiment "E25" e25_empirical_coordination;
   experiment "E26" e26_fault_overhead;
+  experiment "E27" e27_scan_attribution;
   experiment "bechamel" bechamel_section;
   (match json_out with Some file -> emit_json file | None -> ());
   print_endline "\nall experiment tables printed."

@@ -82,16 +82,55 @@ let rec satisfy stats plans which i n db delta env k =
       candidates
   end
 
+(* ANALYZE label: one flat string per rule, shared by the profile span
+   and the per-rule metric rows. *)
+let rule_label (r : Ast.rule) =
+  let preds atoms = List.map (fun (a : Ast.atom) -> a.Ast.pred) atoms in
+  r.head.Ast.pred ^ "<-"
+  ^ String.concat "," (preds r.pos)
+  ^ (match r.neg with
+    | [] -> ""
+    | ns -> ",!" ^ String.concat ",!" (preds ns))
+
 let derive_plan ~neg ~current ~db ~delta ~which (p : Joindb.plan) acc =
-  let out = ref acc in
-  let stats = { probes = 0; hits = 0 } in
-  let n = Array.length p.atoms in
-  satisfy stats p.atoms which 0 n db delta Env.empty (fun env ->
-      if Joindb.checks_pass current neg env p.rule then
-        out := Instance.add (Joindb.ground_atom env p.rule.head) !out);
-  if stats.probes > 0 then Observe.Metrics.incr ~by:stats.probes m_join_probes;
-  if stats.hits > 0 then Observe.Metrics.incr ~by:stats.hits m_index_hits;
-  !out
+  let profiling = Observe.Profile.is_enabled () in
+  let run () =
+    let out = ref acc in
+    let stats = { probes = 0; hits = 0 } in
+    let fired = ref 0 in
+    let n = Array.length p.atoms in
+    satisfy stats p.atoms which 0 n db delta Env.empty (fun env ->
+        if Joindb.checks_pass current neg env p.rule then begin
+          if profiling then incr fired;
+          out := Instance.add (Joindb.ground_atom env p.rule.head) !out
+        end);
+    if stats.probes > 0 then Observe.Metrics.incr ~by:stats.probes m_join_probes;
+    if stats.hits > 0 then Observe.Metrics.incr ~by:stats.hits m_index_hits;
+    (!out, !fired)
+  in
+  if not profiling then fst (run ())
+  else begin
+    (* Per-rule ANALYZE, recorded only under [calm profile]/[--profile]:
+       fired/derived/deduped are stable counters (summed per activation,
+       so byte-identical across --jobs by the pool's in-order merge);
+       the timing and the profile span stay volatile. *)
+    let label = rule_label p.rule in
+    let labels = [ ("rule", label) ] in
+    let out, fired =
+      Observe.Profile.span ("rule:" ^ label) (fun () ->
+          Observe.Metrics.time
+            (Observe.Metrics.timing ~labels "eval.rule_time")
+            run)
+    in
+    let derived = Instance.cardinal out - Instance.cardinal acc in
+    Observe.Metrics.incr ~by:fired
+      (Observe.Metrics.counter ~labels "eval.rule_fired");
+    Observe.Metrics.incr ~by:derived
+      (Observe.Metrics.counter ~labels "eval.rule_derived");
+    Observe.Metrics.incr ~by:(fired - derived)
+      (Observe.Metrics.counter ~labels "eval.rule_deduped");
+    out
+  end
 
 let derive_plans ?(neg = default_neg) plans j =
   let db = Joindb.of_instance j in
@@ -171,3 +210,107 @@ let stratified_exn ?max_facts p i =
   match stratified ?max_facts p i with
   | Ok r -> r
   | Error e -> invalid_arg ("Eval.stratified_exn: " ^ e)
+
+(* ------------------------------------------------------------------ *)
+(* EXPLAIN ANALYZE: one instrumented derivation pass over a database
+   (typically the fixpoint), counting per-atom index lookups and the
+   candidates each probe actually examined, against the estimate a
+   nested-loop scan would have paid (lookups × predicate extent). *)
+
+type atom_report = {
+  atom : Joindb.atom_plan;
+  extent : int;
+  lookups : int;
+  est_candidates : int;
+  candidates : int;
+}
+
+type rule_report = {
+  plan : Joindb.plan;
+  atom_reports : atom_report list;
+  valuations : int;
+  fired : int;
+  derived : int;
+}
+
+let explain ?(neg = default_neg) p j =
+  let db = Joindb.of_instance j in
+  let extent_of (ap : Joindb.atom_plan) =
+    Instance.fold
+      (fun f n ->
+        if Fact.rel f = ap.pred && Fact.arity f = ap.arity then n + 1 else n)
+      j 0
+  in
+  List.map
+    (fun (pl : Joindb.plan) ->
+      let n = Array.length pl.atoms in
+      let lookups = Array.make n 0 and cands = Array.make n 0 in
+      let vals = ref 0 and fired = ref 0 in
+      let out = ref Instance.empty in
+      let rec go i env =
+        if i = n then begin
+          incr vals;
+          if Joindb.checks_pass j neg env pl.rule then begin
+            incr fired;
+            out := Instance.add (Joindb.ground_atom env pl.rule.head) !out
+          end
+        end
+        else begin
+          let ap = pl.atoms.(i) in
+          lookups.(i) <- lookups.(i) + 1;
+          let candidates =
+            Joindb.probe db ap.pred ~arity:ap.arity ~positions:ap.key_positions
+              (Joindb.key_of_env env ap)
+          in
+          cands.(i) <- cands.(i) + List.length candidates;
+          List.iter
+            (fun f ->
+              match Joindb.extend env ap.slots f with
+              | None -> ()
+              | Some env' -> go (i + 1) env')
+            candidates
+        end
+      in
+      go 0 Env.empty;
+      let atom_reports =
+        List.init n (fun i ->
+            let ap = pl.atoms.(i) in
+            let extent = extent_of ap in
+            {
+              atom = ap;
+              extent;
+              lookups = lookups.(i);
+              est_candidates = lookups.(i) * extent;
+              candidates = cands.(i);
+            })
+      in
+      {
+        plan = pl;
+        atom_reports;
+        valuations = !vals;
+        fired = !fired;
+        derived = Instance.cardinal (Instance.diff !out j);
+      })
+    (Joindb.plan_program p)
+
+let pp_explain ppf reports =
+  List.iteri
+    (fun ri r ->
+      Format.fprintf ppf "rule %d: %a@." (ri + 1) Ast.pp_rule r.plan.Joindb.rule;
+      List.iteri
+        (fun ai a ->
+          Format.fprintf ppf "  atom %d: %a@." (ai + 1) Joindb.pp_atom_plan
+            a.atom;
+          let saved =
+            if a.candidates < a.est_candidates && a.candidates > 0 then
+              Format.asprintf " (%.1fx fewer than scan)"
+                (float_of_int a.est_candidates /. float_of_int a.candidates)
+            else ""
+          in
+          Format.fprintf ppf
+            "          lookups=%d extent=%d est-candidates=%d candidates=%d%s@."
+            a.lookups a.extent a.est_candidates a.candidates saved)
+        r.atom_reports;
+      Format.fprintf ppf "  valuations=%d fired=%d derived=%d@." r.valuations
+        r.fired r.derived)
+    reports

@@ -67,3 +67,44 @@ val stratified :
 
 val stratified_exn : ?max_facts:int -> Ast.program -> Instance.t -> Instance.t
 (** @raise Invalid_argument if not stratifiable. *)
+
+(** {2 EXPLAIN ANALYZE}
+
+    When profiling is enabled ({!Observe.Profile.is_enabled}), every rule
+    activation additionally records stable per-rule counters
+    [eval.rule_fired] / [eval.rule_derived] / [eval.rule_deduped], a
+    volatile [eval.rule_time] timing, and a [rule:<label>] profile span —
+    all keyed by {!rule_label}. While profiling is off the evaluator pays
+    a single atomic load per activation. *)
+
+val rule_label : Ast.rule -> string
+(** Flat label shared by the per-rule metrics and profile spans:
+    [head<-body1,body2,!negated]. *)
+
+type atom_report = {
+  atom : Joindb.atom_plan;
+  extent : int;  (** facts of this predicate/arity in the database *)
+  lookups : int;  (** index probes issued for this atom *)
+  est_candidates : int;  (** [lookups × extent]: a nested-loop scan's cost *)
+  candidates : int;  (** facts actually examined after hashing *)
+}
+
+type rule_report = {
+  plan : Joindb.plan;
+  atom_reports : atom_report list;
+  valuations : int;  (** complete positive-body valuations *)
+  fired : int;  (** valuations passing inequality/negation checks *)
+  derived : int;  (** facts derived by this pass not already in the db *)
+}
+
+val explain :
+  ?neg:(Instance.t -> Fact.t -> bool) ->
+  Ast.program -> Instance.t -> rule_report list
+(** One instrumented derivation pass of every rule over the given
+    database (pass the fixpoint to see the plans under their real
+    workload), with per-atom estimated-vs-actual candidate counts.
+    Deterministic for a given program and database. *)
+
+val pp_explain : Format.formatter -> rule_report list -> unit
+(** [calm plan]'s rendering: each rule, its per-atom access paths with
+    lookup/extent/candidate counts, and the valuation summary. *)

@@ -18,21 +18,41 @@ let join_atom db envs (ap : Joindb.atom_plan) =
     envs
 
 let derive_plan ~neg ~current ~db ~delta ~which (p : Joindb.plan) acc =
-  let envs =
-    Array.to_list p.atoms
-    |> List.fold_left
-         (fun (i, envs) ap ->
-           let source = if Some i = which then delta else db in
-           (i + 1, join_atom source envs ap))
-         (0, [ Env.empty ])
-    |> snd
+  let run () =
+    let envs =
+      Array.to_list p.atoms
+      |> List.fold_left
+           (fun (i, envs) ap ->
+             let source = if Some i = which then delta else db in
+             (i + 1, join_atom source envs ap))
+           (0, [ Env.empty ])
+      |> snd
+    in
+    List.fold_left
+      (fun acc env ->
+        if Joindb.checks_pass current neg env p.rule then
+          Instance.add (Joindb.ground_atom env p.rule.head) acc
+        else acc)
+      acc envs
   in
-  List.fold_left
-    (fun acc env ->
-      if Joindb.checks_pass current neg env p.rule then
-        Instance.add (Joindb.ground_atom env p.rule.head) acc
-      else acc)
-    acc envs
+  (* Same ANALYZE parity as Eval.derive_plan: the set-at-a-time engine
+     materializes binding lists, so fired is recovered as the passing
+     valuation count via a counting fold only under profiling. *)
+  if not (Observe.Profile.is_enabled ()) then run ()
+  else begin
+    let label = Eval.rule_label p.rule in
+    let labels = [ ("rule", label) ] in
+    let out =
+      Observe.Profile.span ("rule:" ^ label) (fun () ->
+          Observe.Metrics.time
+            (Observe.Metrics.timing ~labels "eval.rule_time")
+            run)
+    in
+    let derived = Instance.cardinal out - Instance.cardinal acc in
+    Observe.Metrics.incr ~by:derived
+      (Observe.Metrics.counter ~labels "eval.rule_derived");
+    out
+  end
 
 let derive_plans ?(neg = Joindb.default_neg) plans j =
   let db = Joindb.of_instance j in

@@ -162,6 +162,39 @@ let plan_program p = List.map plan_rule p
 
 let key_of_env env ap = List.map (term_value env) ap.key_terms
 
+(* ------------------------------------------------------------------ *)
+(* EXPLAIN: pretty-print a compiled plan. One line per body atom showing
+   the access path the probe loop will take — which positions are hashed
+   (and under which terms), which free positions bind, and which repeats
+   are equality-checked after the probe. *)
+
+let pp_term_str t = Format.asprintf "%a" Ast.pp_term t
+
+let pp_slot ppf = function
+  | Bind (i, v) -> Format.fprintf ppf "bind %s@@%d" v i
+  | Check (i, v) -> Format.fprintf ppf "check %s@@%d" v i
+
+let pp_atom_plan ppf ap =
+  (match ap.key_positions with
+  | [] -> Format.fprintf ppf "%s/%d via full scan" ap.pred ap.arity
+  | ps ->
+    Format.fprintf ppf "%s/%d via index(%s) key=<%s>" ap.pred ap.arity
+      (String.concat "," (List.map string_of_int ps))
+      (String.concat "," (List.map pp_term_str ap.key_terms)));
+  match ap.slots with
+  | [] -> Format.fprintf ppf ", fully keyed"
+  | slots ->
+    Format.fprintf ppf ", %s"
+      (String.concat ", "
+         (List.map (fun s -> Format.asprintf "%a" pp_slot s) slots))
+
+let pp_plan ppf p =
+  Format.fprintf ppf "@[<v>%a@," Ast.pp_rule p.rule;
+  Array.iteri
+    (fun i ap -> Format.fprintf ppf "  atom %d: %a@," (i + 1) pp_atom_plan ap)
+    p.atoms;
+  Format.fprintf ppf "@]"
+
 let extend env slots f =
   let rec go env = function
     | [] -> Some env

@@ -40,18 +40,31 @@ let m_scan = Observe.Metrics.timing "monotone.scan"
    the pair-at-a-time scan's. With [cache = false] the probe recomputes
    [Q(base)] per pair (the seed's behaviour); verdicts and certificates
    are identical either way, which the test wall pins. *)
+(* Attribution paths are rooted ("scan/base/..."): probe_group runs on
+   pool worker domains under [jobs > 1], whose ambient span stack is
+   empty, so absolute paths are what makes the parallel profile
+   aggregate with the sequential one. *)
 let probe_group ~cache kind q (base, exts) =
-  let probe =
+  Observe.Profile.span_rooted [ "scan"; "base" ] @@ fun () ->
+  let route = if q.Query.witness <> None then "witness" else "eval" in
+  let probe, empty_fast =
     if cache then begin
-      let before = Query.apply q base in
-      if Instance.is_empty before then fun _ -> None
-      else Classes.stage ~before kind q ~base
+      let before =
+        Observe.Profile.span_rooted [ "scan"; "base"; "qbase" ] (fun () ->
+            Query.apply q base)
+      in
+      if Instance.is_empty before then ((fun _ -> None), true)
+      else
+        ( Observe.Profile.span_rooted [ "scan"; "base"; "stage" ] (fun () ->
+              Classes.stage ~before kind q ~base),
+          false )
     end
     else
-      fun extension ->
-        let before = Query.apply q base in
-        if Instance.is_empty before then None
-        else Classes.check_extension ~before kind q ~base ~extension
+      ( (fun extension ->
+          let before = Query.apply q base in
+          if Instance.is_empty before then None
+          else Classes.check_extension ~before kind q ~base ~extension),
+        false )
   in
   let scanned = ref 0 in
   let found = ref None in
@@ -62,7 +75,18 @@ let probe_group ~cache kind q (base, exts) =
       incr scanned;
       Observe.Metrics.incr m_probes;
       if cache && !scanned > 1 then Observe.Metrics.incr m_cache_hits;
-      match probe extension with
+      let verdict =
+        if Observe.Profile.is_enabled () then
+          Observe.Profile.span_rooted [ "scan"; "base"; "probe" ] (fun () ->
+              if empty_fast then Observe.Profile.annot "empty_before"
+              else begin
+                Observe.Profile.annot route;
+                if cache && !scanned > 1 then Observe.Profile.annot "cache_hit"
+              end;
+              probe extension)
+        else probe extension
+      in
+      match verdict with
       | Some v -> found := Some v
       | None -> go rest)
   in
@@ -79,6 +103,7 @@ let probe_group ~cache kind q (base, exts) =
    reproducible independently of [jobs]. *)
 let scan ?jobs ?(cache = true) kind q groups =
   let outcome =
+    Observe.Profile.span_rooted [ "scan" ] @@ fun () ->
     Observe.Metrics.time m_scan (fun () ->
         match jobs with
         | Some j when j > 1 ->

@@ -30,6 +30,7 @@ let shrink_part q v ~get ~set =
   go v
 
 let shrink q v =
+  Observe.Profile.span_rooted [ "shrink" ] @@ fun () ->
   let v =
     shrink_part q v
       ~get:(fun v -> v.Classes.base)

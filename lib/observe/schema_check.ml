@@ -161,6 +161,33 @@ let validate_causal j =
           else Ok ())
       0 events
 
+let validate_profile j =
+  let* () = expect_schema "calm-profile/v1" j in
+  let* spans = list_field "spans" j in
+  each
+    (fun s ->
+      let* path = string_field "path" s in
+      let* count = int_field "count" s in
+      let* annots = obj_field "annots" s in
+      let* total = number_field "total_s" s in
+      let* self = number_field "self_s" s in
+      if path = "" then error "span has an empty path"
+      else if List.exists (( = ) "") (String.split_on_char '/' path) then
+        error "span path %S has an empty frame" path
+      else if count < 0 then error "span %S has negative count %d" path count
+      else if total < 0. then error "span %S has negative total_s" path
+      else if self < 0. then error "span %S has negative self_s" path
+      else if self > total +. 1e-9 then
+        error "span %S has self_s exceeding total_s" path
+      else
+        each
+          (function
+            | _, Json.Int v when v >= 0 -> Ok ()
+            | k, _ ->
+                error "span %S annot %S is not a non-negative int" path k)
+          0 annots)
+    0 spans
+
 let validate_trace j =
   let* events = list_field "traceEvents" j in
   each

@@ -15,6 +15,13 @@ val validate_bench : Json.t -> (unit, string) result
     [jobs] fields, and a non-empty [experiments] array whose entries
     carry [id], a non-negative [wall_s], and a [metrics] object. *)
 
+val validate_profile : Json.t -> (unit, string) result
+(** The [--profile-out] / [calm profile] document:
+    [schema = "calm-profile/v1"] and a [spans] array whose entries carry
+    a non-empty ['/']-separated [path] with no empty frames, a
+    non-negative [count], an [annots] object of non-negative ints, and
+    non-negative [total_s]/[self_s] with [self_s <= total_s]. *)
+
 val validate_trace : Json.t -> (unit, string) result
 (** A Chrome [trace_event] document: a [traceEvents] array whose entries
     all have [ph]/[pid]/[tid], with [name]/[ts] on non-metadata events. *)

@@ -63,12 +63,21 @@ let add_edges g edges =
     List.iter (fun (a, b) -> adj.(a) <- b :: adj.(a)) edges;
     { n; values = Array.sub values 0 n; adj }
 
-let of_rel rel i = add_edges empty (edges_of rel i)
-let extend g rel i = add_edges g (edges_of rel i)
+(* Stage spans nest under whatever scan span is ambient at call time
+   (e.g. scan/base/stage/kernel.intern), so [calm profile] can say which
+   kernel stage of a witness dominates. No-ops unless profiling. *)
+let of_rel rel i =
+  Observe.Profile.span "kernel.intern" @@ fun () ->
+  add_edges empty (edges_of rel i)
+
+let extend g rel i =
+  Observe.Profile.span "kernel.intern" @@ fun () ->
+  add_edges g (edges_of rel i)
 
 (* Transitive closure (paths of length >= 1), row-major [n * n] matrix:
    Floyd–Warshall on at most a dozen vertices. *)
 let reach g =
+  Observe.Profile.span "kernel.reach" @@ fun () ->
   let n = g.n in
   let r = Array.make (n * n) false in
   Array.iteri
@@ -97,7 +106,8 @@ let reacher g =
     let row =
       let cached = memo.(a) in
       if Array.length cached > 0 then cached
-      else begin
+      else
+        Observe.Profile.span "kernel.dfs" @@ fun () ->
         let row = Array.make g.n false in
         let rec dfs v =
           List.iter
@@ -111,7 +121,6 @@ let reacher g =
         dfs a;
         memo.(a) <- row;
         row
-      end
     in
     row.(b)
 
@@ -120,6 +129,7 @@ let reacher g =
    (empty, step empty) until both the under- and over-estimate are
    stationary — the same iteration as {!Zoo.winmove}, on bit arrays. *)
 let wins g =
+  Observe.Profile.span "kernel.wins" @@ fun () ->
   let step s =
     Array.init g.n (fun x -> List.exists (fun y -> not s.(y)) g.adj.(x))
   in
