@@ -1046,6 +1046,13 @@ let bench_diff_cmd =
       "network.dropped";
       "network.crashes";
       "network.partition_rounds";
+      (* Incremental-maintenance counters: with the bench's fixed knobs
+         (cache and ivm both on) the probe routing is deterministic, so
+         drift here means probes moved between the witness / ivm / eval
+         routes or the maintenance layer re-derived a different volume. *)
+      "monotone.ivm_hits";
+      "eval.ivm_applies";
+      "eval.ivm_rederived";
     ]
   in
   let baseline_term =

@@ -14,6 +14,7 @@ module Fragment = Fragment
 module Points_of_order = Points_of_order
 module Depgraph = Depgraph
 module Hashjoin = Hashjoin
+module Ivm = Ivm
 module Goal = Goal
 module Ilog = Ilog
 module Adom = Adom

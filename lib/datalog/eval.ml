@@ -82,6 +82,27 @@ let rec satisfy stats plans which i n db delta env k =
       candidates
   end
 
+(* Delta plumbing for the incremental (IVM) layer: enumerate the
+   valuations of a plan's positive body with a caller-chosen probe per
+   atom position. [probe i ap key emit] must call [emit] on every
+   candidate fact for atom [i] whose keyed positions equal [key]; the
+   IVM layer composes base/overlay databases and membership filters
+   there (Δ-only positions, old ∖ removed, the counting partitions).
+   Inequality and negation side conditions stay with the caller, which
+   sees each complete valuation. *)
+let iter_firings ~probe (p : Joindb.plan) k =
+  let n = Array.length p.atoms in
+  let rec go i env =
+    if i = n then k env
+    else
+      let ap : Joindb.atom_plan = p.atoms.(i) in
+      probe i ap (Joindb.key_of_env env ap) (fun f ->
+          match Joindb.extend env ap.slots f with
+          | None -> ()
+          | Some env' -> go (i + 1) env')
+  in
+  go 0 Env.empty
+
 (* ANALYZE label: one flat string per rule, shared by the profile span
    and the per-rule metric rows. *)
 let rule_label (r : Ast.rule) =

@@ -68,6 +68,18 @@ val stratified :
 val stratified_exn : ?max_facts:int -> Ast.program -> Instance.t -> Instance.t
 (** @raise Invalid_argument if not stratifiable. *)
 
+val iter_firings :
+  probe:
+    (int -> Joindb.atom_plan -> Value.t list -> (Fact.t -> unit) -> unit) ->
+  Joindb.plan -> (Value.t Joindb.Env.t -> unit) -> unit
+(** Delta plumbing for {!Ivm}: enumerate complete valuations of a plan's
+    positive body, probing each atom position through a caller-supplied
+    source. [probe i ap key emit] must pass every candidate fact for atom
+    [i] whose keyed positions equal [key] to [emit]; the caller composes
+    base and overlay databases, membership filters, and the counting
+    partitions there. Inequality and negation checks are the caller's
+    responsibility ({!Joindb.checks_pass}). *)
+
 (** {2 EXPLAIN ANALYZE}
 
     When profiling is enabled ({!Observe.Profile.is_enabled}), every rule

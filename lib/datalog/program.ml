@@ -42,5 +42,20 @@ let run t i =
   in
   Instance.restrict_rels full t.outputs
 
+(* Stratified programs answer the scan's probes incrementally: staging
+   materializes the model of the base once ({!Ivm.materialize}), and
+   each probe is a Δ-seeded apply against the handle's shared indexes.
+   Well-founded programs have no maintenance route and evaluate. *)
 let query ~name t =
-  Query.make ~name ~input:(input_schema t) ~output:(output_schema t) (run t)
+  let maintain =
+    match t.semantics with
+    | Well_founded -> None
+    | Stratified ->
+      Some
+        (fun base ->
+          let h = Ivm.materialize t.rules base in
+          fun (d : Query.delta) ->
+            Instance.restrict_rels (Ivm.apply_facts h d.Query.facts) t.outputs)
+  in
+  Query.make ?maintain ~name ~input:(input_schema t) ~output:(output_schema t)
+    (run t)

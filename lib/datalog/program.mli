@@ -35,4 +35,8 @@ val run : t -> Instance.t -> Instance.t
 (** Evaluate on an input instance and restrict to the output relations. *)
 
 val query : name:string -> t -> Query.t
-(** Package as an abstract query. *)
+(** Package as an abstract query. [Stratified] programs install a
+    maintenance route ({!Relational.Query.t.maintain}): staging
+    materializes an {!Ivm} handle for the base once, and each probe is
+    answered by a Δ-seeded incremental apply instead of re-running the
+    engine on [base ∪ Δ]. [Well_founded] programs evaluate per probe. *)

@@ -26,6 +26,7 @@ let default_bounds = { dom_size = 3; fresh = 2; max_base = 4; max_ext = 2 }
 let m_probes = Observe.Metrics.counter "monotone.probes"
 let m_pairs = Observe.Metrics.counter "monotone.pairs_scanned"
 let m_cache_hits = Observe.Metrics.counter "monotone.cache_hits"
+let m_ivm_hits = Observe.Metrics.counter "monotone.ivm_hits"
 let m_violations = Observe.Metrics.counter "monotone.violations"
 let m_cert_size = Observe.Metrics.histogram "monotone.counterexample_size"
 let m_scan = Observe.Metrics.timing "monotone.scan"
@@ -44,9 +45,15 @@ let m_scan = Observe.Metrics.timing "monotone.scan"
    pool worker domains under [jobs > 1], whose ambient span stack is
    empty, so absolute paths are what makes the parallel profile
    aggregate with the sequential one. *)
-let probe_group ~cache kind q (base, exts) =
+let probe_group ~cache ~ivm kind q (base, exts) =
   Observe.Profile.span_rooted [ "scan"; "base" ] @@ fun () ->
-  let route = if q.Query.witness <> None then "witness" else "eval" in
+  let is_ivm_route = cache && Query.route ~ivm q = Query.Ivm in
+  let route =
+    match Query.route ~ivm q with
+    | Query.Witness -> "witness"
+    | Query.Ivm -> "ivm"
+    | Query.Eval -> "eval"
+  in
   let probe, empty_fast =
     if cache then begin
       let before =
@@ -56,41 +63,52 @@ let probe_group ~cache kind q (base, exts) =
       if Instance.is_empty before then ((fun _ -> None), true)
       else
         ( Observe.Profile.span_rooted [ "scan"; "base"; "stage" ] (fun () ->
-              Classes.stage ~before kind q ~base),
+              Classes.stage ~ivm ~before kind q ~base),
           false )
     end
     else
-      ( (fun extension ->
+      (* The seed's pair-at-a-time behaviour: re-evaluate [Q(base)] and
+         re-stage per probe, incremental route off. *)
+      ( (fun d ->
           let before = Query.apply q base in
           if Instance.is_empty before then None
-          else Classes.check_extension ~before kind q ~base ~extension),
+          else Classes.stage ~ivm:false ~before kind q ~base d),
         false )
   in
   let scanned = ref 0 in
   let found = ref None in
+  let profiling = Observe.Profile.is_enabled () in
   let rec go s =
     match s () with
     | Seq.Nil -> ()
-    | Seq.Cons (extension, rest) -> (
+    | Seq.Cons (d, rest) -> (
       incr scanned;
-      Observe.Metrics.incr m_probes;
-      if cache && !scanned > 1 then Observe.Metrics.incr m_cache_hits;
       let verdict =
-        if Observe.Profile.is_enabled () then
+        if profiling then
           Observe.Profile.span_rooted [ "scan"; "base"; "probe" ] (fun () ->
               if empty_fast then Observe.Profile.annot "empty_before"
               else begin
                 Observe.Profile.annot route;
                 if cache && !scanned > 1 then Observe.Profile.annot "cache_hit"
               end;
-              probe extension)
-        else probe extension
+              probe d)
+        else probe d
       in
       match verdict with
       | Some v -> found := Some v
       | None -> go rest)
   in
   go exts;
+  (* Committed once per group rather than once per probe — the hot loop
+     pays no registry hits — with totals byte-identical to the per-probe
+     accounting, including a winning group's partial tally. *)
+  if !scanned > 0 then begin
+    Observe.Metrics.incr ~by:!scanned m_probes;
+    if cache && !scanned > 1 then
+      Observe.Metrics.incr ~by:(!scanned - 1) m_cache_hits;
+    if is_ivm_route && not empty_fast then
+      Observe.Metrics.incr ~by:!scanned m_ivm_hits
+  end;
   (!scanned, !found)
 
 (* Scan a per-base grouped (base, extensions) stream for a violation.
@@ -101,7 +119,7 @@ let probe_group ~cache kind q (base, exts) =
    violation, but the reported violation is always the first one in
    enumeration order, so certificates (and their shrunken forms) are
    reproducible independently of [jobs]. *)
-let scan ?jobs ?(cache = true) kind q groups =
+let scan ?jobs ?(cache = true) ?(ivm = true) kind q groups =
   let outcome =
     Observe.Profile.span_rooted [ "scan" ] @@ fun () ->
     Observe.Metrics.time m_scan (fun () ->
@@ -112,7 +130,7 @@ let scan ?jobs ?(cache = true) kind q groups =
              completed, so the sum is independent of scheduling. *)
           let pairs = Atomic.make 0 in
           let probe group =
-            let scanned, v = probe_group ~cache kind q group in
+            let scanned, v = probe_group ~cache ~ivm kind q group in
             (match v with
             | None -> ignore (Atomic.fetch_and_add pairs scanned)
             | Some _ -> ());
@@ -129,7 +147,7 @@ let scan ?jobs ?(cache = true) kind q groups =
             match s () with
             | Seq.Nil -> No_violation { pairs = !count }
             | Seq.Cons (group, rest) -> (
-              let scanned, v = probe_group ~cache kind q group in
+              let scanned, v = probe_group ~cache ~ivm kind q group in
               count := !count + scanned;
               match v with Some v -> Violated v | None -> go rest)
           in
@@ -150,7 +168,8 @@ let scan ?jobs ?(cache = true) kind q groups =
    sequence of its admissible extensions ({!Enumerate.extensions}
    guarantees admissibility per kind, so the probe skips re-checking). *)
 
-let check_exhaustive ?(bounds = default_bounds) ?schema ?jobs ?cache kind q =
+let check_exhaustive ?(bounds = default_bounds) ?schema ?jobs ?cache ?ivm
+    kind q =
   let schema = Option.value schema ~default:q.Query.input in
   let dom = Enumerate.value_pool bounds.dom_size in
   let fresh = Enumerate.fresh_pool bounds.fresh in
@@ -158,21 +177,22 @@ let check_exhaustive ?(bounds = default_bounds) ?schema ?jobs ?cache kind q =
     Enumerate.instances schema ~dom ~max_facts:bounds.max_base
     |> Seq.map (fun base ->
            ( base,
-             Enumerate.extensions kind ~base ~schema ~fresh
+             Enumerate.extension_deltas kind ~base ~schema ~fresh
                ~max_size:bounds.max_ext ))
   in
-  scan ?jobs ?cache kind q groups
+  scan ?jobs ?cache ?ivm kind q groups
 
-let check_on_bases ?(fresh = 2) ?(max_ext = 2) ?jobs ?cache kind q bases =
+let check_on_bases ?(fresh = 2) ?(max_ext = 2) ?jobs ?cache ?ivm kind q bases
+    =
   let fresh = Enumerate.fresh_pool fresh in
   let groups =
     List.to_seq bases
     |> Seq.map (fun base ->
            ( base,
-             Enumerate.extensions kind ~base ~schema:q.Query.input ~fresh
-               ~max_size:max_ext ))
+             Enumerate.extension_deltas kind ~base ~schema:q.Query.input
+               ~fresh ~max_size:max_ext ))
   in
-  scan ?jobs ?cache kind q groups
+  scan ?jobs ?cache ?ivm kind q groups
 
 let random_instance st schema ~dom ~max_facts =
   let dom = Array.of_list dom in
@@ -217,7 +237,7 @@ let random_extension st kind schema ~base ~fresh ~max_size =
     |> fun i -> Instance.diff i base
 
 let check_random ?(seed = 17) ?(trials = 500) ?(bounds = default_bounds)
-    ?schema ?jobs ?cache kind q =
+    ?schema ?jobs ?cache ?ivm kind q =
   let schema = Option.value schema ~default:q.Query.input in
   let st = Random.State.make [| seed |] in
   let dom = Enumerate.value_pool bounds.dom_size in
@@ -237,12 +257,13 @@ let check_random ?(seed = 17) ?(trials = 500) ?(bounds = default_bounds)
     |> Seq.filter (fun (base, extension) ->
            (not (Instance.is_empty extension))
            && Classes.admissible kind ~base ~extension)
-    |> Seq.map (fun (base, extension) -> (base, Seq.return extension))
+    |> Seq.map (fun (base, extension) ->
+           (base, Seq.return (Query.delta_of_instance extension)))
   in
-  scan ?jobs ?cache kind q groups
+  scan ?jobs ?cache ?ivm kind q groups
 
-let ladder ?fresh ?bases ?(bounds = default_bounds) ?jobs ?cache kind ~max_i q
-    =
+let ladder ?fresh ?bases ?(bounds = default_bounds) ?jobs ?cache ?ivm kind
+    ~max_i q =
   List.init max_i (fun k ->
       let i = k + 1 in
       let m_bound =
@@ -253,11 +274,11 @@ let ladder ?fresh ?bases ?(bounds = default_bounds) ?jobs ?cache kind ~max_i q
       Observe.Metrics.time m_bound (fun () ->
           match bases with
           | Some bases ->
-            check_on_bases ?fresh ~max_ext:i ?jobs ?cache kind q bases
+            check_on_bases ?fresh ~max_ext:i ?jobs ?cache ?ivm kind q bases
           | None ->
             check_exhaustive
               ~bounds:{ bounds with max_ext = i }
-              ?jobs ?cache kind q))
+              ?jobs ?cache ?ivm kind q))
 
 type placement = {
   plain : outcome;
@@ -265,13 +286,14 @@ type placement = {
   disjoint : outcome;
 }
 
-let place ?bounds ?schema ?jobs ?cache q =
+let place ?bounds ?schema ?jobs ?cache ?ivm q =
   {
-    plain = check_exhaustive ?bounds ?schema ?jobs ?cache Classes.Plain q;
+    plain =
+      check_exhaustive ?bounds ?schema ?jobs ?cache ?ivm Classes.Plain q;
     distinct =
-      check_exhaustive ?bounds ?schema ?jobs ?cache Classes.Distinct q;
+      check_exhaustive ?bounds ?schema ?jobs ?cache ?ivm Classes.Distinct q;
     disjoint =
-      check_exhaustive ?bounds ?schema ?jobs ?cache Classes.Disjoint q;
+      check_exhaustive ?bounds ?schema ?jobs ?cache ?ivm Classes.Disjoint q;
   }
 
 let strongest p =

@@ -27,7 +27,7 @@ val default_bounds : bounds
 
 val check_exhaustive :
   ?bounds:bounds -> ?schema:Schema.t -> ?jobs:int -> ?cache:bool ->
-  Classes.kind -> Query.t -> outcome
+  ?ivm:bool -> Classes.kind -> Query.t -> outcome
 (** Tries every base over the (input) schema within bounds, and every
     admissible extension of it. [schema] defaults to the query's input
     schema. With [jobs > 1] the per-base groups of probes fan out across
@@ -41,10 +41,18 @@ val check_exhaustive :
     but not evaluated at all, since an empty output cannot lose facts).
     [~cache:false] recomputes [Q(base)] per pair — same verdicts, same
     certificates, same [monotone.probes]/[pairs_scanned]; only
-    [monotone.cache_hits] and wall-clock differ. *)
+    [monotone.cache_hits] and wall-clock differ.
+
+    [ivm] (default [true]) enables the incremental route: when the query
+    carries a maintenance function ({!Relational.Query.route} is [Ivm]),
+    each group materializes [Q(base)] once and answers every probe by a
+    delta application instead of re-evaluating on [base ∪ extension].
+    Verdicts, certificates, and the stable metric rows are byte-identical
+    with the knob on or off; [monotone.ivm_hits] counts probes answered
+    incrementally. *)
 
 val check_on_bases :
-  ?fresh:int -> ?max_ext:int -> ?jobs:int -> ?cache:bool ->
+  ?fresh:int -> ?max_ext:int -> ?jobs:int -> ?cache:bool -> ?ivm:bool ->
   Classes.kind -> Query.t -> Instance.t list -> outcome
 (** Exhaustive extensions over user-supplied base instances — used when
     the interesting bases are known (e.g. the paper's counterexample
@@ -56,14 +64,16 @@ val random_instance :
 
 val check_random :
   ?seed:int -> ?trials:int -> ?bounds:bounds -> ?schema:Schema.t ->
-  ?jobs:int -> ?cache:bool -> Classes.kind -> Query.t -> outcome
+  ?jobs:int -> ?cache:bool -> ?ivm:bool -> Classes.kind -> Query.t ->
+  outcome
 (** Randomized pairs: random base, random admissible extension. The pair
     stream is drawn from the seeded RNG in enumeration order even under
     [jobs > 1], so the verdict does not depend on [jobs]. *)
 
 val ladder :
   ?fresh:int -> ?bases:Instance.t list -> ?bounds:bounds -> ?jobs:int ->
-  ?cache:bool -> Classes.kind -> max_i:int -> Query.t -> outcome list
+  ?cache:bool -> ?ivm:bool -> Classes.kind -> max_i:int -> Query.t ->
+  outcome list
 (** The bounded profile [M¹ₖ, M²ₖ, ..., Mᵐᵃˣₖ] of a query (Figure 1's
     bounded ladders): element [i-1] checks the class with extensions of
     size at most [i], over the given bases ({!check_on_bases}) or
@@ -78,7 +88,7 @@ type placement = {
 
 val place :
   ?bounds:bounds -> ?schema:Schema.t -> ?jobs:int -> ?cache:bool ->
-  Query.t -> placement
+  ?ivm:bool -> Query.t -> placement
 (** Runs {!check_exhaustive} for all three kinds. *)
 
 val strongest : placement -> string

@@ -41,24 +41,26 @@ let pp_violation ppf v =
    fact of [before] outside [Q(base ∪ extension)] — the head of
    [diff before after] — so the certificate is the one the seed's
    diff-based probe produced, whether the query answers through a
-   witness or by evaluating. *)
-let stage ~before kind q ~base =
-  let probe = Query.stage q ~base ~expected:before in
-  fun extension ->
-    match probe extension with
+   witness, an IVM handle, or by evaluating. Probes consume
+   {!Query.delta}s; the extension instance is only forced when a
+   violation is actually reported. *)
+let stage ?ivm ~before kind q ~base =
+  let probe = Query.stage ?ivm q ~base ~expected:before in
+  fun (d : Query.delta) ->
+    match probe d with
     | None -> None
     | Some missing ->
       Some
         {
           kind;
-          bound = Some (Instance.cardinal extension);
+          bound = Some (List.length d.Query.facts);
           base;
-          extension;
+          extension = Query.delta_instance d;
           missing;
         }
 
-let check_extension ~before kind q ~base ~extension =
-  stage ~before kind q ~base extension
+let check_extension ?ivm ~before kind q ~base ~extension =
+  stage ?ivm ~before kind q ~base (Query.delta_of_instance extension)
 
 let check_pair kind q ~base ~extension =
   if not (admissible kind ~base ~extension) then None

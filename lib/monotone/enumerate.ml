@@ -34,7 +34,11 @@ let instances schema ~dom ~max_facts =
   in
   Seq.map Instance.of_list (subsets_up_to facts max_facts)
 
-let extensions kind ~base ~schema ~fresh ~max_size =
+(* Extensions are constructed fact-by-fact from a sorted candidate list,
+   so each one IS a delta against the base: hand the scan the raw
+   (sorted, duplicate-free) fact list and a lazy instance view instead
+   of materializing a set it would immediately re-diff. *)
+let extension_deltas kind ~base ~schema ~fresh ~max_size =
   let base_dom = Instance.adom base in
   let pool =
     match (kind : Classes.kind) with
@@ -57,4 +61,8 @@ let extensions kind ~base ~schema ~fresh ~max_size =
   in
   subsets_up_to candidates max_size
   |> Seq.filter (fun l -> l <> [])
-  |> Seq.map Instance.of_list
+  |> Seq.map Query.delta_of_facts
+
+let extensions kind ~base ~schema ~fresh ~max_size =
+  extension_deltas kind ~base ~schema ~fresh ~max_size
+  |> Seq.map Query.delta_instance

@@ -21,6 +21,20 @@ val instances :
 (** All instances over the schema using only the given values, with at most
     [max_facts] facts. *)
 
+val extension_deltas :
+  Classes.kind ->
+  base:Instance.t ->
+  schema:Schema.t ->
+  fresh:Value.t list ->
+  max_size:int ->
+  Query.delta Seq.t
+(** All nonempty extensions [J] admissible for the kind, built from
+    [adom base ∪ fresh] ([fresh] only, for [Disjoint]), excluding facts
+    already in the base, with [|J| <= max_size] — presented as
+    {!Relational.Query.delta}s: the sorted fact list the enumeration
+    just constructed, with the instance view forced only by consumers
+    that need a set. Same enumeration order as {!extensions}. *)
+
 val extensions :
   Classes.kind ->
   base:Instance.t ->
@@ -28,6 +42,4 @@ val extensions :
   fresh:Value.t list ->
   max_size:int ->
   Instance.t Seq.t
-(** All nonempty extensions [J] admissible for the kind, built from
-    [adom base ∪ fresh] ([fresh] only, for [Disjoint]), excluding facts
-    already in the base, with [|J| <= max_size]. *)
+(** {!extension_deltas} with each delta forced to its instance. *)

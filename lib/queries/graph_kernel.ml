@@ -74,6 +74,16 @@ let extend g rel i =
   Observe.Profile.span "kernel.intern" @@ fun () ->
   add_edges g (edges_of rel i)
 
+let extend_facts g rel facts =
+  Observe.Profile.span "kernel.intern" @@ fun () ->
+  add_edges g
+    (List.filter_map
+       (fun f ->
+         if Fact.rel f = rel && Fact.arity f = 2 then
+           Some (Fact.arg f 0, Fact.arg f 1)
+         else None)
+       facts)
+
 (* Transitive closure (paths of length >= 1), row-major [n * n] matrix:
    Floyd–Warshall on at most a dozen vertices. *)
 let reach g =

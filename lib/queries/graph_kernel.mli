@@ -25,6 +25,11 @@ val extend : t -> string -> Instance.t -> t
     valid — and only [i]'s facts are traversed, which is what makes the
     staged witnesses cheap per probe. *)
 
+val extend_facts : t -> string -> Fact.t list -> t
+(** {!extend} from a raw fact list — the shape {!Relational.Query.delta}
+    carries, so witness probes need not force the delta's instance
+    view. *)
+
 val vertex : t -> Value.t -> int
 (** Vertex number of a value, [-1] when it does not occur. *)
 

@@ -1,15 +1,22 @@
+type delta = { facts : Fact.t list; instance : Instance.t Lazy.t }
+
+let delta_of_instance i = { facts = Instance.to_list i; instance = lazy i }
+let delta_of_facts facts = { facts; instance = lazy (Instance.of_list facts) }
+let delta_instance d = Lazy.force d.instance
+let empty_delta = { facts = []; instance = lazy Instance.empty }
+
 type t = {
   name : string;
   input : Schema.t;
   output : Schema.t;
   eval : Instance.t -> Instance.t;
   witness :
-    (base:Instance.t -> expected:Instance.t -> Instance.t -> Fact.t option)
-    option;
+    (base:Instance.t -> expected:Instance.t -> delta -> Fact.t option) option;
+  maintain : (Instance.t -> delta -> Instance.t) option;
 }
 
-let make ?witness ~name ~input ~output eval =
-  { name; input; output; eval; witness }
+let make ?witness ?maintain ~name ~input ~output eval =
+  { name; input; output; eval; witness; maintain }
 
 let apply q i =
   let result = q.eval (Instance.restrict i q.input) in
@@ -21,26 +28,42 @@ let apply q i =
 
 (* The monotonicity scan's membership probe, staged per base: [stage q
    ~base ~expected] returns a function answering, for each extension
-   [J], the least fact of [expected] outside [Q(base ∪ J)]. A
+   [Δ], the least fact of [expected] outside [Q(base ∪ Δ)]. A
    query-supplied witness does the per-base analysis once (interning the
    base's graph, resolving [expected]) and answers each probe from the
-   extension's few facts, never materializing [Q]; the fallback unions,
-   evaluates, and scans [expected] in fact order. Both routes return the
-   head of [diff expected after] whenever that diff is non-empty. The
-   fallback skips [apply]'s output validation — the scan probes millions
-   of instances and the validation is a development assertion,
-   re-checked on the certificate path. *)
-let stage q ~base ~expected =
+   delta's few facts, never materializing [Q]; the [maintain] route
+   saturates [Q(base)] once into an incremental handle and answers each
+   probe with a Δ-seeded semi-naive pass; the fallback unions, evaluates
+   from scratch, and scans [expected] in fact order. All routes return
+   the head of [diff expected after] whenever that diff is non-empty.
+   The non-witness routes skip [apply]'s output validation — the scan
+   probes millions of instances and the validation is a development
+   assertion, re-checked on the certificate path. *)
+let stage ?(ivm = true) q ~base ~expected =
   if Instance.is_empty expected then fun _ -> None
   else
-    match q.witness with
-    | Some w -> w ~base ~expected
-    | None ->
-      fun extension ->
+    match (q.witness, q.maintain) with
+    | Some w, _ -> w ~base ~expected
+    | None, Some m when ivm ->
+      let app = m (Instance.restrict base q.input) in
+      fun d -> Instance.first_missing expected (app d)
+    | None, _ ->
+      fun d ->
         Instance.first_missing expected
-          (q.eval (Instance.restrict (Instance.union base extension) q.input))
+          (q.eval
+             (Instance.restrict
+                (Instance.union base (delta_instance d))
+                q.input))
 
-let first_missing q ~expected i = stage q ~base:i ~expected Instance.empty
+type route = Witness | Ivm | Eval
+
+let route ?(ivm = true) q =
+  match (q.witness, q.maintain) with
+  | Some _, _ -> Witness
+  | None, Some _ when ivm -> Ivm
+  | None, _ -> Eval
+
+let first_missing q ~expected i = stage q ~base:i ~expected empty_delta
 
 let compose ~name q2 q1 =
   if not (Schema.subset q2.input q1.output) then
@@ -53,6 +76,7 @@ let compose ~name q2 q1 =
     output = q2.output;
     eval = (fun i -> apply q2 (apply q1 i));
     witness = None;
+    maintain = None;
   }
 
 let union ~name a b =
@@ -64,6 +88,7 @@ let union ~name a b =
     output = a.output;
     eval = (fun i -> Instance.union (apply a i) (apply b i));
     witness = None;
+    maintain = None;
   }
 
 let constant_filter q p =
@@ -73,6 +98,7 @@ let constant_filter q p =
     eval =
       (fun i -> if p (Instance.restrict i q.input) then q.eval i else Instance.empty);
     witness = None;
+    maintain = None;
   }
 
 let check_generic ?(trials = 8) ?(seed = 42) q i =

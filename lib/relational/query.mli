@@ -6,28 +6,48 @@
     {!check_generic} provides a randomized spot-check used by the test
     suite. *)
 
+type delta = { facts : Fact.t list; instance : Instance.t Lazy.t }
+(** An extension presented as a delta against some base: the raw fact
+    list (duplicate-free, what staged witnesses and the incremental
+    engine consume) plus the {!Instance.t} view, forced only by consumers
+    that genuinely need a set — the scan enumerates thousands of deltas
+    per base and most probes never build the set. *)
+
+val delta_of_instance : Instance.t -> delta
+val delta_of_facts : Fact.t list -> delta
+val delta_instance : delta -> Instance.t
+val empty_delta : delta
+
 type t = {
   name : string;
   input : Schema.t;
   output : Schema.t;
   eval : Instance.t -> Instance.t;
   witness :
-    (base:Instance.t -> expected:Instance.t -> Instance.t -> Fact.t option)
-    option;
-      (** Optional staged membership fast path: [w ~base ~expected ext]
+    (base:Instance.t -> expected:Instance.t -> delta -> Fact.t option) option;
+      (** Optional staged membership fast path: [w ~base ~expected d]
           must equal
-          [Instance.first_missing expected (apply _ (union base ext))] —
-          the least fact of [expected] outside [Q(base ∪ ext)] — but may
+          [Instance.first_missing expected (apply _ (union base d))] —
+          the least fact of [expected] outside [Q(base ∪ d)] — but may
           compute it without materializing [Q]. The partial application
           [w ~base ~expected] is the place for per-base work (interning,
           resolving [expected]): the monotonicity scan stages it once per
           base and probes every admissible extension through it.
           Correctness is pinned by the engine-equivalence test wall. *)
+  maintain : (Instance.t -> delta -> Instance.t) option;
+      (** Optional incremental evaluator: [m base] materializes [Q(base)]
+          once (saturated IDB plus support state) and the returned probe
+          answers [apply _ (union base d)] for each delta by semi-naive
+          rules seeded only with [d] — never re-saturating from scratch.
+          Supplied by [Datalog.Program.query] via [Datalog.Ivm]; used by
+          {!stage} when no witness is registered and the [ivm] knob is
+          on. Must agree extensionally with [eval] on every
+          [base ∪ d]. *)
 }
 
 val make :
-  ?witness:
-    (base:Instance.t -> expected:Instance.t -> Instance.t -> Fact.t option) ->
+  ?witness:(base:Instance.t -> expected:Instance.t -> delta -> Fact.t option) ->
+  ?maintain:(Instance.t -> delta -> Instance.t) ->
   name:string -> input:Schema.t -> output:Schema.t ->
   (Instance.t -> Instance.t) -> t
 
@@ -37,18 +57,27 @@ val apply : t -> Instance.t -> Instance.t
     @raise Invalid_argument if the result leaves the output schema. *)
 
 val stage :
-  t -> base:Instance.t -> expected:Instance.t -> Instance.t -> Fact.t option
+  ?ivm:bool ->
+  t -> base:Instance.t -> expected:Instance.t -> delta -> Fact.t option
 (** [stage q ~base ~expected] is a probe answering, for each extension
-    [J], the least fact of [expected] not in [apply q (base ∪ J)] ([None]
-    when [expected] is covered) — dispatching to the query's
-    {!field-witness} when present, otherwise unioning and evaluating per
-    probe (without [apply]'s output-schema assertion). Apply it partially
-    and reuse the result: per-base work happens at staging time. *)
+    delta [d], the least fact of [expected] not in [apply q (base ∪ d)]
+    ([None] when [expected] is covered) — dispatching to the query's
+    {!field-witness} when present, then to {!field-maintain} (unless
+    [~ivm:false]), otherwise unioning and evaluating per probe (the
+    non-witness routes skip [apply]'s output-schema assertion). Apply it
+    partially and reuse the result: per-base work (witness staging, IVM
+    materialization) happens at staging time. *)
+
+type route = Witness | Ivm | Eval
+
+val route : ?ivm:bool -> t -> route
+(** Which implementation {!stage} will dispatch to under the given [ivm]
+    knob — the scan records it per probe group. *)
 
 val first_missing : t -> expected:Instance.t -> Instance.t -> Fact.t option
 (** [first_missing q ~expected i] is the least fact of [expected] not in
     [apply q i], or [None] when [expected ⊆ apply q i]:
-    [stage q ~base:i ~expected] probed with the empty extension. *)
+    [stage q ~base:i ~expected] probed with the empty delta. *)
 
 val compose : name:string -> t -> t -> t
 (** [compose q2 q1] feeds the output of [q1] (unioned with nothing else) to

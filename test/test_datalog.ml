@@ -967,6 +967,172 @@ let prop_stratified_genericity =
   QCheck2.Test.make ~name:"stratified program is generic" ~count:40
     (gen_graph 5 8) (fun i -> Query.check_generic ~trials:4 q i)
 
+(* ------------------------------------------------------------------ *)
+(* Incremental view maintenance: directed unit tests. *)
+
+let test_ivm_basic () =
+  let p = Parser.parse_program tc_src in
+  let h = Ivm.materialize p (inst [ edge 1 2; edge 2 3 ]) in
+  check_bool "T(1,3)" true (Instance.mem (fact "T" [ 1; 3 ]) (Ivm.current h));
+  let m = Ivm.apply h ~delta:(inst [ edge 3 4 ]) in
+  check_bool "apply derives T(1,4)" true (Instance.mem (fact "T" [ 1; 4 ]) m);
+  check_bool "what-if apply leaves the handle unmoved" false
+    (Instance.mem (fact "T" [ 1; 4 ]) (Ivm.current h));
+  let m = Ivm.insert h (inst [ edge 3 4 ]) in
+  check_bool "insert derives T(1,4)" true (Instance.mem (fact "T" [ 1; 4 ]) m);
+  let m = Ivm.retract h (inst [ edge 3 4 ]) in
+  check_bool "retract removes T(1,4)" false
+    (Instance.mem (fact "T" [ 1; 4 ]) m);
+  check_bool "retract keeps T(1,3)" true (Instance.mem (fact "T" [ 1; 3 ]) m)
+
+let test_ivm_shared_support () =
+  (* Retracting one of two independent derivations must keep the fact
+     (counting), retracting both must drop it. *)
+  let p = Parser.parse_program "T(x,y) :- E(x,y). T(x,y) :- F(x,y)." in
+  let h = Ivm.materialize p (inst [ edge 1 2; fact "F" [ 1; 2 ] ]) in
+  let m = Ivm.retract h (inst [ edge 1 2 ]) in
+  check_bool "still F-supported" true (Instance.mem (fact "T" [ 1; 2 ]) m);
+  let m = Ivm.retract h (inst [ fact "F" [ 1; 2 ] ]) in
+  check_bool "unsupported fact gone" false
+    (Instance.mem (fact "T" [ 1; 2 ]) m)
+
+let test_ivm_idb_given () =
+  (* A given fact of a derived predicate is part of the input: it
+     survives the retraction of the rule derivation that also produces
+     it. *)
+  let p = Parser.parse_program tc_src in
+  let h = Ivm.materialize p (inst [ edge 1 2; fact "T" [ 1; 2 ] ]) in
+  let m = Ivm.retract h (inst [ edge 1 2 ]) in
+  check_bool "given T(1,2) survives" true
+    (Instance.mem (fact "T" [ 1; 2 ]) m);
+  check_bool "E(1,2) gone" false (Instance.mem (edge 1 2) m)
+
+let test_ivm_unstratifiable () =
+  let p = Parser.parse_program winmove_src in
+  check_bool "unsupported" false (Ivm.supported p);
+  match Ivm.materialize p Instance.empty with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+(* The equivalence wall for incremental view maintenance: at every step
+   of a random insert/retract sequence the handle's model must equal a
+   from-scratch saturation of its input (the seed's [Refeval] as
+   oracle), and a what-if {!Ivm.apply} must answer the extended model
+   without moving the handle. *)
+
+let ivm_oracle p given =
+  match Refeval.stratified p given with
+  | Ok m -> m
+  | Error e -> Alcotest.failf "ivm oracle: %s" e
+
+let ivm_sequence_ok p init steps to_inst =
+  let h = Ivm.materialize p init in
+  let given = ref init in
+  List.for_all
+    (fun (destructive, adds, rems) ->
+      let add = to_inst adds and remove = to_inst rems in
+      if destructive then begin
+        let m = Ivm.update h ~add ~remove in
+        given := Instance.union (Instance.diff !given remove) add;
+        Instance.equal m (ivm_oracle p !given)
+        && Instance.equal (Ivm.current h) m
+        && Instance.equal (Ivm.given h) !given
+      end
+      else
+        let m = Ivm.apply h ~delta:add in
+        Instance.equal m (ivm_oracle p (Instance.union !given add))
+        && Instance.equal (Ivm.given h) !given
+        && Instance.equal (Ivm.current h) (ivm_oracle p !given))
+    steps
+
+let gen_ivm_steps gen_facts =
+  QCheck2.Gen.(list_size (int_range 1 5) (triple bool gen_facts gen_facts))
+
+let prop_ivm_zoo_sequences =
+  let progs =
+    List.map
+      (fun src -> Adom.augment (Parser.parse_program src))
+      [ tc_src; comp_tc_src; p1_src; p2_src ]
+  in
+  let gen_edges =
+    QCheck2.Gen.(
+      list_size (int_range 0 6) (pair (int_range 0 4) (int_range 0 4)))
+  in
+  QCheck2.Test.make ~name:"ivm update sequences = from-scratch (zoo)"
+    ~count:60
+    (QCheck2.Gen.pair gen_edges (gen_ivm_steps gen_edges))
+    (fun (init, steps) ->
+      let to_inst pairs = inst (List.map (fun (a, b) -> edge a b) pairs) in
+      List.for_all
+        (fun p -> ivm_sequence_ok p (to_inst init) steps to_inst)
+        progs)
+
+(* Random recursive programs with negation: bodies over edb {A, B} and
+   idb {P, Q} (recursive strata exercise the DRed route), negation over
+   the edb (semi-positive core, so stratifiable by construction),
+   sometimes topped by a stratum negating the recursive [P] — the
+   scratch-recompute route. *)
+let gen_ivm_case =
+  let open QCheck2.Gen in
+  let vars = [ "x"; "y"; "z" ] in
+  let rule =
+    let* npos = int_range 1 3 in
+    let* pos =
+      list_size (return npos)
+        (let* p = oneofl [ "A"; "B"; "P"; "Q" ] in
+         let* t1 = oneofl vars in
+         let* t2 = oneofl vars in
+         return (Ast.atom p [ Ast.Var t1; Ast.Var t2 ]))
+    in
+    let pos_vars = List.concat_map Ast.vars_of_atom pos in
+    let pvar = oneofl pos_vars in
+    let* h1 = pvar in
+    let* h2 = pvar in
+    let* hp = oneofl [ "P"; "Q" ] in
+    let* neg =
+      list_size (int_range 0 2)
+        (let* p = oneofl [ "A"; "B" ] in
+         let* t1 = pvar in
+         let* t2 = pvar in
+         return (Ast.atom p [ Ast.Var t1; Ast.Var t2 ]))
+    in
+    let* ineq =
+      list_size (int_range 0 1)
+        (let* t1 = pvar in
+         let* t2 = pvar in
+         return (Ast.Var t1, Ast.Var t2))
+    in
+    return
+      { Ast.head = Ast.atom hp [ Ast.Var h1; Ast.Var h2 ]; pos; neg; ineq }
+  in
+  let* rules = list_size (int_range 1 4) rule in
+  let* with_top = bool in
+  let p =
+    if with_top then
+      rules @ [ Parser.parse_rule "S(x,y) :- A(x,y), not P(x,y)." ]
+    else rules
+  in
+  let gfacts =
+    list_size (int_range 0 6)
+      (triple bool (int_range 0 4) (int_range 0 4))
+  in
+  let* init = gfacts in
+  let* steps = gen_ivm_steps gfacts in
+  return (p, init, steps)
+
+let prop_ivm_random_sequences =
+  QCheck2.Test.make
+    ~name:"ivm update sequences = from-scratch (random programs)" ~count:300
+    gen_ivm_case
+    (fun (p, init, steps) ->
+      let to_inst trips =
+        inst
+          (List.map
+             (fun (r, a, b) -> fact (if r then "A" else "B") [ a; b ])
+             trips)
+      in
+      ivm_sequence_ok p (to_inst init) steps to_inst)
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -980,6 +1146,8 @@ let qcheck_cases =
       prop_hashjoin_agrees;
       prop_refeval_agrees;
       prop_stratified_genericity;
+      prop_ivm_zoo_sequences;
+      prop_ivm_random_sequences;
     ]
 
 let () =
@@ -1115,6 +1283,13 @@ let () =
           Alcotest.test_case "well-founded" `Quick
             test_program_wellfounded_semantics;
           Alcotest.test_case "as query" `Quick test_program_as_query;
+        ] );
+      ( "ivm",
+        [
+          Alcotest.test_case "basic" `Quick test_ivm_basic;
+          Alcotest.test_case "shared support" `Quick test_ivm_shared_support;
+          Alcotest.test_case "idb given" `Quick test_ivm_idb_given;
+          Alcotest.test_case "unstratifiable" `Quick test_ivm_unstratifiable;
         ] );
       ("properties", qcheck_cases);
     ]

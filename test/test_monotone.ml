@@ -536,22 +536,32 @@ let outcome_equal a b =
   | _ -> false
 
 let scan_configs =
-  [ (1, true); (1, false); (2, true); (2, false); (4, true); (4, false) ]
+  [
+    (1, true, true);
+    (1, false, true);
+    (2, true, true);
+    (2, false, true);
+    (4, true, true);
+    (4, false, true);
+    (1, true, false);
+    (2, true, false);
+    (4, true, false);
+  ]
 
 let check_scan_invariant name run =
-  let reference = run ~jobs:1 ~cache:true in
+  let reference = run ~jobs:1 ~cache:true ~ivm:true in
   List.iter
-    (fun (jobs, cache) ->
-      let o = run ~jobs ~cache in
+    (fun (jobs, cache, ivm) ->
+      let o = run ~jobs ~cache ~ivm in
       check_bool
-        (Printf.sprintf "%s: jobs=%d cache=%b" name jobs cache)
+        (Printf.sprintf "%s: jobs=%d cache=%b ivm=%b" name jobs cache ivm)
         true
         (outcome_equal reference o);
       match (reference, o) with
       | Checker.Violated v, Checker.Violated v' ->
         check_bool
-          (Printf.sprintf "%s: shrunken certificate jobs=%d cache=%b" name
-             jobs cache)
+          (Printf.sprintf "%s: shrunken certificate jobs=%d cache=%b ivm=%b"
+             name jobs cache ivm)
           true
           (violation_equal
              (Shrink.shrink Zoo.comp_tc v)
@@ -560,22 +570,117 @@ let check_scan_invariant name run =
     scan_configs
 
 let test_scan_cache_jobs_violating () =
-  check_scan_invariant "comp-tc distinct" (fun ~jobs ~cache ->
-      Checker.check_exhaustive ~bounds:small ~jobs ~cache Classes.Distinct
-        Zoo.comp_tc)
+  check_scan_invariant "comp-tc distinct" (fun ~jobs ~cache ~ivm ->
+      Checker.check_exhaustive ~bounds:small ~jobs ~cache ~ivm
+        Classes.Distinct Zoo.comp_tc)
 
 let test_scan_cache_jobs_clean () =
-  check_scan_invariant "tc plain" (fun ~jobs ~cache ->
-      Checker.check_exhaustive ~bounds:small ~jobs ~cache Classes.Plain Zoo.tc)
+  check_scan_invariant "tc plain" (fun ~jobs ~cache ~ivm ->
+      Checker.check_exhaustive ~bounds:small ~jobs ~cache ~ivm Classes.Plain
+        Zoo.tc)
 
 let test_scan_cache_jobs_random () =
-  check_scan_invariant "comp-tc random" (fun ~jobs ~cache ->
+  check_scan_invariant "comp-tc random" (fun ~jobs ~cache ~ivm ->
       Checker.check_random ~seed:23 ~trials:800
         ~bounds:{ small with Checker.max_ext = 2 }
-        ~jobs ~cache Classes.Distinct Zoo.comp_tc);
-  check_scan_invariant "tc random clean" (fun ~jobs ~cache ->
-      Checker.check_random ~seed:23 ~trials:300 ~jobs ~cache Classes.Plain
-        Zoo.tc)
+        ~jobs ~cache ~ivm Classes.Distinct Zoo.comp_tc);
+  check_scan_invariant "tc random clean" (fun ~jobs ~cache ~ivm ->
+      Checker.check_random ~seed:23 ~trials:300 ~jobs ~cache ~ivm
+        Classes.Plain Zoo.tc)
+
+(* ------------------------------------------------------------------ *)
+(* Incremental-route determinism: a maintain-backed query
+   ({!Datalog.Program.query} installs the {!Datalog.Ivm} route; no
+   witness) must give byte-identical verdicts, certificates, and stable
+   metric rows with the route on or off, across cache and jobs — only
+   the ivm_* rows themselves may differ, and when the route is live they
+   must prove it actually fired. *)
+
+(* The scan's verdict rows — probes, pairs, violations, certificate
+   sizes — must not move with any knob; [monotone.cache_hits] and the
+   ivm_* rows are the knobs' own meters and are pinned separately. The
+   engine's [eval.*] work counters legitimately change with [cache] and
+   [ivm] (that is the point of the routes); they must still be identical
+   across [jobs] at fixed knobs. *)
+let monotone_core_rows c =
+  Observe.Metrics.render_stable c
+  |> String.split_on_char '\n'
+  |> List.filter (fun l ->
+         String.starts_with ~prefix:"monotone." l
+         && (not (String.starts_with ~prefix:"monotone.cache_hits" l))
+         && not (String.starts_with ~prefix:"monotone.ivm_hits" l))
+  |> String.concat "\n"
+
+let root_count name =
+  match
+    List.find_opt
+      (fun r -> r.Observe.Metrics.name = name)
+      (Observe.Metrics.snapshot Observe.Metrics.root)
+  with
+  | Some r -> r.Observe.Metrics.count
+  | None -> 0
+
+let check_ivm_scan_invariant name kind q =
+  check_bool (name ^ ": route is ivm") true (Query.route q = Query.Ivm);
+  check_bool (name ^ ": knob off routes to eval") true
+    (Query.route ~ivm:false q = Query.Eval);
+  let run ~jobs ~cache ~ivm =
+    Observe.Metrics.reset Observe.Metrics.root;
+    let o = Checker.check_exhaustive ~bounds:small ~jobs ~cache ~ivm kind q in
+    ( o,
+      Observe.Metrics.render_stable Observe.Metrics.root,
+      monotone_core_rows Observe.Metrics.root,
+      root_count "monotone.ivm_hits",
+      root_count "monotone.cache_hits" )
+  in
+  let knob_refs =
+    List.map
+      (fun (cache, ivm) -> ((cache, ivm), run ~jobs:1 ~cache ~ivm))
+      [ (true, true); (false, true); (true, false) ]
+  in
+  let ref_o, _, ref_core, ref_hits, ref_cache_hits =
+    List.assoc (true, true) knob_refs
+  in
+  check_bool (name ^ ": incremental route fired") true (ref_hits > 0);
+  List.iter
+    (fun (jobs, cache, ivm) ->
+      let o, rows, core, hits, cache_hits = run ~jobs ~cache ~ivm in
+      let _, knob_rows, _, _, _ = List.assoc (cache, ivm) knob_refs in
+      check_bool
+        (Printf.sprintf "%s: verdict jobs=%d cache=%b ivm=%b" name jobs cache
+           ivm)
+        true (outcome_equal ref_o o);
+      check_bool
+        (Printf.sprintf "%s: stable rows at jobs=%d = jobs=1 (cache=%b \
+                         ivm=%b)"
+           name jobs cache ivm)
+        true
+        (String.equal knob_rows rows);
+      check_bool
+        (Printf.sprintf "%s: verdict rows jobs=%d cache=%b ivm=%b" name jobs
+           cache ivm)
+        true
+        (String.equal ref_core core);
+      if cache then
+        check_int
+          (Printf.sprintf "%s: cache hits jobs=%d ivm=%b" name jobs ivm)
+          ref_cache_hits cache_hits;
+      check_int
+        (Printf.sprintf "%s: ivm hits jobs=%d cache=%b ivm=%b" name jobs
+           cache ivm)
+        (if cache && ivm then ref_hits else 0)
+        hits)
+    scan_configs
+
+let test_ivm_scan_violating () =
+  check_ivm_scan_invariant "comp-tc-prog distinct" Classes.Distinct
+    (Datalog.Program.query ~name:"comp-tc-prog"
+       (Datalog.Program.parse Zoo.comp_tc_program))
+
+let test_ivm_scan_clean () =
+  check_ivm_scan_invariant "tc-prog plain" Classes.Plain
+    (Datalog.Program.query ~name:"tc-prog"
+       (Datalog.Program.parse ~outputs:[ "T" ] Zoo.tc_program))
 
 (* ------------------------------------------------------------------ *)
 (* wILOG zoo (Section 5.2 / Theorem 5.4) *)
@@ -731,7 +836,9 @@ let prop_witness_contract =
         (fun (q, conv) ->
           let base = conv b and ext = conv e in
           let agree expected =
-            let via_witness = Query.stage q ~base ~expected ext in
+            let via_witness =
+              Query.stage q ~base ~expected (Query.delta_of_instance ext)
+            in
             let via_eval =
               Instance.first_missing expected
                 (Query.apply q (Instance.union base ext))
@@ -902,6 +1009,11 @@ let () =
           Alcotest.test_case "exhaustive clean scan" `Slow
             test_scan_cache_jobs_clean;
           Alcotest.test_case "random scan" `Slow test_scan_cache_jobs_random;
+        ] );
+      ( "ivm-route",
+        [
+          Alcotest.test_case "violating scan" `Slow test_ivm_scan_violating;
+          Alcotest.test_case "clean scan" `Slow test_ivm_scan_clean;
         ] );
       ( "shrink-ladder",
         [
