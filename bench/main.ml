@@ -1510,6 +1510,80 @@ let e28_ivm_ablation () =
      attributable to incremental answering alone.";
   Report.print t
 
+(* ================================================================== *)
+(* E29 — telemetry overhead: series recorder off vs on                 *)
+(* ================================================================== *)
+
+let e29_telemetry_overhead () =
+  let t =
+    Report.create
+      ~title:
+        "E29 / telemetry overhead: E1-class scans with the series \
+         recorder off (default: one atomic load per sample site) vs on \
+         (--series-out / --live)"
+      ~columns:
+        [ "workload"; "off ms"; "on ms"; "overhead"; "series"; "points" ]
+  in
+  let repeats = if quick then 3 else 5 in
+  let median_ms f =
+    let walls =
+      List.init repeats (fun _ ->
+          let t0 = Unix.gettimeofday () in
+          ignore (f ());
+          (Unix.gettimeofday () -. t0) *. 1000.)
+    in
+    List.nth (List.sort compare walls) (repeats / 2)
+  in
+  let bounds =
+    {
+      Checker.dom_size = 3;
+      fresh = 2;
+      max_base = 3;
+      max_ext = (if quick then 2 else 3);
+    }
+  in
+  List.iter
+    (fun (name, q, kind) ->
+      let scan () = Checker.check_exhaustive ~bounds kind q in
+      let off_ms = median_ms scan in
+      Observe.Series.reset Observe.Series.root;
+      Observe.Series.enable ();
+      let on_ms = median_ms scan in
+      Observe.Series.disable ();
+      let rows = Observe.Series.rows Observe.Series.root in
+      let points =
+        List.fold_left
+          (fun acc (r : Observe.Series.row) ->
+            acc + List.length r.Observe.Series.points)
+          0 rows
+      in
+      Report.add_row t
+        [
+          name;
+          Printf.sprintf "%.1f" off_ms;
+          Printf.sprintf "%.1f" on_ms;
+          (if off_ms < 0.5 then "-"
+           else Printf.sprintf "%+.1f%%" ((on_ms /. off_ms -. 1.) *. 100.));
+          string_of_int (List.length rows);
+          string_of_int points;
+        ];
+      Observe.Series.reset Observe.Series.root)
+    [
+      ("tc, M scan (holds)", Zoo.tc, Classes.Plain);
+      ("comp-tc, M scan (witness)", Zoo.comp_tc, Classes.Plain);
+      ("q-star-2, Mdisjoint scan", Zoo.q_star 2, Classes.Disjoint);
+    ];
+  Report.add_note t
+    "off = shipped default: every sample site is gated on one atomic \
+     load, so the recorder costs nothing until --series-out or --live \
+     arms it. on = recorder armed, per-base trajectories buffered and \
+     merged (the last run's point totals are shown). Medians over \
+     repeated runs; sub-millisecond rows are below timer resolution, so \
+     their overhead is printed as '-'. The off column tracks the \
+     E1-class walls of the committed trajectory (report --diff guards \
+     them).";
+  Report.print t
+
 let bechamel_section () =
   let open Bechamel in
   print_endline "== Timing benches (bechamel; time per run via OLS) ==";
@@ -1647,6 +1721,7 @@ let () =
   experiment "E26" e26_fault_overhead;
   experiment "E27" e27_scan_attribution;
   experiment "E28" e28_ivm_ablation;
+  experiment "E29" e29_telemetry_overhead;
   experiment "bechamel" bechamel_section;
   (match json_out with Some file -> emit_json file | None -> ());
   print_endline "\nall experiment tables printed."

@@ -186,6 +186,9 @@ type obs = {
   profile : bool;
   profile_out : string option;
   redact_timings : bool;
+  series_out : string option;
+  live : bool;
+  heartbeat : float;
 }
 
 let obs_term =
@@ -237,12 +240,52 @@ let obs_term =
              (durations, per-worker tallies) with '-' so the profile is \
              byte-reproducible.")
   in
-  let mk metrics_out trace_out profile profile_out redact_timings =
-    { metrics_out; trace_out; profile; profile_out; redact_timings }
+  let series_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "series-out" ] ~docv:"FILE"
+          ~doc:
+            "Enable the time-series recorder and write a calm-series/v1 \
+             JSONL document (per-round / per-depth / per-base \
+             trajectories) to $(docv). Stable series are independent of \
+             $(b,--jobs).")
+  in
+  let live =
+    Arg.(
+      value & flag
+      & info [ "live" ]
+          ~doc:
+            "Enable the time-series recorder and print live \
+             rate/quantile/ETA progress lines to stderr at the \
+             $(b,--heartbeat) cadence.")
+  in
+  let heartbeat =
+    Arg.(
+      value
+      & opt float 5.
+      & info [ "heartbeat" ] ~docv:"SECS"
+          ~doc:
+            "Cadence (seconds) of progress output: plain \\[hb\\] lines \
+             during network stabilization, and \\[live\\] lines when \
+             $(b,--live) is set. 0 disables the plain heartbeat.")
+  in
+  let mk metrics_out trace_out profile profile_out redact_timings series_out
+      live heartbeat =
+    {
+      metrics_out;
+      trace_out;
+      profile;
+      profile_out;
+      redact_timings;
+      series_out;
+      live;
+      heartbeat;
+    }
   in
   Term.(
     const mk $ metrics_out $ trace_out $ profile $ profile_out
-    $ redact_timings)
+    $ redact_timings $ series_out $ live $ heartbeat)
 
 let write_file f s =
   let oc = open_out f in
@@ -253,8 +296,20 @@ let with_observability obs f =
   Observe.Metrics.reset Observe.Metrics.root;
   if obs.trace_out <> None then Observe.Sink.enable Observe.Sink.default;
   if obs.profile || obs.profile_out <> None then Observe.Profile.enable ();
+  if obs.series_out <> None || obs.live then begin
+    Observe.Series.reset Observe.Series.root;
+    Observe.Series.enable ();
+    if obs.live then Observe.Series.set_live obs.heartbeat
+  end;
   let finish () =
     Observe.Profile.disable ();
+    (if obs.series_out <> None || obs.live then begin
+       Observe.Series.disable ();
+       Observe.Series.set_live 0.;
+       match obs.series_out with
+       | None -> ()
+       | Some file -> write_file file (Observe.Series.to_jsonl Observe.Series.root)
+     end);
     (match obs.metrics_out with
     | None -> ()
     | Some file ->
@@ -376,23 +431,31 @@ let check_cmd =
       & info [ "class" ] ~docv:"KIND" ~doc:"plain, distinct, or disjoint.")
   in
   let run src outputs kind bounds jobs obs =
-    with_observability obs @@ fun () ->
-    let program = load_program_any ~outputs src in
-    let q = Datalog.Program.query ~name:"program" program in
-    let t0 = Unix.gettimeofday () in
-    let outcome = Monotone.Checker.check_exhaustive ~bounds ~jobs kind q in
-    let wall = Unix.gettimeofday () -. t0 in
-    match outcome with
-    | Monotone.Checker.No_violation { pairs } ->
-      Printf.printf "%s-monotonicity holds on all %d admissible pairs within bounds\n"
-        (Monotone.Classes.kind_to_string kind)
-        pairs;
-      Printf.printf "checked in %.3fs (%.0f pairs/s)\n" wall
-        (float_of_int pairs /. Float.max wall 1e-9)
-    | Monotone.Checker.Violated v ->
-      Format.printf "%a@." Monotone.Classes.pp_violation v;
-      Printf.printf "violated after %.3fs\n" wall;
-      exit 2
+    (* Compute the exit code inside the wrapper and [exit] after it, so
+       a violated check still writes its telemetry artifacts
+       (--metrics-out/--series-out used to be skipped on exit 2). *)
+    let code =
+      with_observability obs @@ fun () ->
+      let program = load_program_any ~outputs src in
+      let q = Datalog.Program.query ~name:"program" program in
+      let t0 = Unix.gettimeofday () in
+      let outcome = Monotone.Checker.check_exhaustive ~bounds ~jobs kind q in
+      let wall = Unix.gettimeofday () -. t0 in
+      match outcome with
+      | Monotone.Checker.No_violation { pairs } ->
+        Printf.printf
+          "%s-monotonicity holds on all %d admissible pairs within bounds\n"
+          (Monotone.Classes.kind_to_string kind)
+          pairs;
+        Printf.printf "checked in %.3fs (%.0f pairs/s)\n" wall
+          (float_of_int pairs /. Float.max wall 1e-9);
+        0
+      | Monotone.Checker.Violated v ->
+        Format.printf "%a@." Monotone.Classes.pp_violation v;
+        Printf.printf "violated after %.3fs\n" wall;
+        2
+    in
+    if code <> 0 then exit code
   in
   Cmd.v
     (Cmd.info "check"
@@ -598,8 +661,9 @@ let run_cmd =
     in
     let t0 = Unix.gettimeofday () in
     let result =
-      Network.Run.run ?tracer ~variant:compiled.Calm_core.Compile.variant
-        ~policy ~transducer:compiled.Calm_core.Compile.transducer ~input sched
+      Network.Run.run ?tracer ~heartbeat:obs.heartbeat
+        ~variant:compiled.Calm_core.Compile.variant ~policy
+        ~transducer:compiled.Calm_core.Compile.transducer ~input sched
     in
     let wall = Unix.gettimeofday () -. t0 in
     Printf.printf
@@ -689,7 +753,8 @@ let sweep_cmd =
         policies
     in
     let results =
-      Network.Run.sweep ~jobs ~variant:compiled.Calm_core.Compile.variant
+      Network.Run.sweep ~jobs ~heartbeat:obs.heartbeat
+        ~variant:compiled.Calm_core.Compile.variant
         ~transducer:compiled.Calm_core.Compile.transducer ~input cells
     in
     List.iter
@@ -974,11 +1039,13 @@ let validate_cmd =
                 [
                   ("metrics", `Metrics); ("bench", `Bench);
                   ("trace", `Trace); ("causal", `Causal);
-                  ("profile", `Profile);
+                  ("profile", `Profile); ("series", `Series);
                 ]))
           None
       & info [ "kind" ] ~docv:"KIND"
-          ~doc:"Artifact kind: metrics, bench, trace, causal, or profile.")
+          ~doc:
+            "Artifact kind: metrics, bench, trace, causal, profile, or \
+             series.")
   in
   let file_term =
     Arg.(
@@ -992,6 +1059,7 @@ let validate_cmd =
       match kind with
       | `Trace when Filename.check_suffix file ".jsonl" ->
         Result.map (fun _ -> ()) (Observe.Sink.of_jsonl contents)
+      | `Series -> Observe.Schema_check.validate_series_jsonl contents
       | _ -> (
         match Observe.Json.of_string contents with
         | Error m -> Error ("not valid JSON: " ^ m)
@@ -1001,7 +1069,8 @@ let validate_cmd =
           | `Bench -> Observe.Schema_check.validate_bench j
           | `Trace -> Observe.Schema_check.validate_trace j
           | `Causal -> Observe.Schema_check.validate_causal j
-          | `Profile -> Observe.Schema_check.validate_profile j))
+          | `Profile -> Observe.Schema_check.validate_profile j
+          | `Series -> assert false))
     in
     match result with
     | Ok () ->
@@ -1011,7 +1080,8 @@ let validate_cmd =
         | `Bench -> "calm-bench/v1"
         | `Trace -> "trace"
         | `Causal -> "calm-causal/v1"
-        | `Profile -> "calm-profile/v1")
+        | `Profile -> "calm-profile/v1"
+        | `Series -> "calm-series/v1")
     | Error m ->
       Printf.eprintf "%s: INVALID: %s\n" file m;
       exit 1
@@ -1034,33 +1104,19 @@ let validate_cmd =
    different certificates — a semantic regression, not noise. Wall-clock
    and volatile rows are never compared. *)
 let bench_diff_cmd =
-  let guard_metrics =
-    [
-      "monotone.probes";
-      "monotone.pairs_scanned";
-      "monotone.violations";
-      "monotone.counterexample_size";
-      (* Fault-layer counters: seeded plans make these deterministic, so
-         drift means the fault schedule (and hence the run) changed. *)
-      "network.dup_deliveries";
-      "network.dropped";
-      "network.crashes";
-      "network.partition_rounds";
-      (* Incremental-maintenance counters: with the bench's fixed knobs
-         (cache and ivm both on) the probe routing is deterministic, so
-         drift here means probes moved between the witness / ivm / eval
-         routes or the maintenance layer re-derived a different volume. *)
-      "monotone.ivm_hits";
-      "eval.ivm_applies";
-      "eval.ivm_rederived";
-    ]
-  in
-  let baseline_term =
+  (* The guarded row list lives in Observe.Report now, shared with the
+     whole-history `calm report --diff`. *)
+  let guard_metrics = Observe.Report.guard_metrics in
+  let baselines_term =
     Arg.(
-      required
-      & opt (some file) None
+      non_empty
+      & opt_all file []
       & info [ "baseline" ] ~docv:"FILE"
-          ~doc:"The committed calm-bench/v1 baseline to compare against.")
+          ~doc:
+            "A committed calm-bench/v1 baseline to compare against. \
+             Repeatable: with several baselines, each experiment is \
+             compared against the $(i,last) given baseline that contains \
+             it, and every reported row names its source baseline.")
   in
   let file_term =
     Arg.(
@@ -1103,13 +1159,26 @@ let bench_diff_cmd =
              the baseline file in place with the new trajectory and exit 0 \
              — the accepted-change workflow that used to be a manual copy.")
   in
-  let run baseline file update =
-    let base = experiments (load baseline) in
+  let run baselines file update =
+    (* Per-experiment resolution across baselines: the last baseline on
+       the command line that contains an experiment wins for it, and
+       every reported row names the baseline it came from. *)
+    let base =
+      List.fold_left
+        (fun acc b ->
+          List.fold_left
+            (fun acc (id, ms) ->
+              (id, (b, ms)) :: List.remove_assoc id acc)
+            acc
+            (experiments (load b)))
+        [] baselines
+    in
+    let base = List.rev base in
     let cur = experiments (load file) in
     let compared = ref 0 in
     let drifts = ref [] in
     List.iter
-      (fun (id, bms) ->
+      (fun (id, (src, bms)) ->
         match List.assoc_opt id cur with
         | None -> ()
         | Some cms ->
@@ -1127,19 +1196,28 @@ let bench_diff_cmd =
                     | Some v -> Observe.Json.to_string v
                   in
                   drifts :=
-                    Printf.sprintf "%s/%s: baseline %s, got %s" id name
-                      (render (Some bv)) (render cv)
+                    Printf.sprintf "%s/%s: baseline %s (%s), got %s" id name
+                      (render (Some bv)) src (render cv)
                     :: !drifts))
             guard_metrics)
       base;
     if !compared = 0 && not update then begin
       Printf.eprintf
-        "bench-diff: no guarded metric rows in common between %s and %s\n"
-        baseline file;
+        "bench-diff: no guarded metric rows in common between [%s] and %s\n"
+        (String.concat "; " baselines)
+        file;
       exit 1
     end;
     let drifts = List.rev !drifts in
     if update then begin
+      let baseline =
+        match baselines with
+        | [ b ] -> b
+        | _ ->
+          Printf.eprintf
+            "bench-diff: --update requires exactly one --baseline\n";
+          exit 1
+      in
       (* Both files already passed calm-bench/v1 validation in [load], so
          the rewrite can't replace a good baseline with a malformed one. *)
       List.iter (fun d -> Printf.printf "  accepting drift: %s\n" d) drifts;
@@ -1153,8 +1231,9 @@ let bench_diff_cmd =
       match drifts with
       | [] ->
         Printf.printf
-          "bench-diff: %d stable metric rows match the baseline (%s)\n"
-          !compared baseline
+          "bench-diff: %d stable metric rows match the baseline(s) (%s)\n"
+          !compared
+          (String.concat "; " baselines)
       | ds ->
         Printf.eprintf "bench-diff: %d/%d stable metric rows drifted:\n"
           (List.length ds) !compared;
@@ -1165,10 +1244,12 @@ let bench_diff_cmd =
     (Cmd.info "bench-diff"
        ~doc:
          "compare a bench --json trajectory's stable metric rows (probes, \
-          pairs scanned, violations, counterexample sizes) against a \
-          committed baseline; exits 1 on any drift, or accepts the new \
-          trajectory in place with --update")
-    Term.(const run $ baseline_term $ file_term $ update_term)
+          pairs scanned, violations, counterexample sizes) against one or \
+          more committed baselines (repeat --baseline; the last baseline \
+          containing an experiment wins for it, and drift reports name \
+          their source baseline); exits 1 on any drift, or accepts the \
+          new trajectory into a single baseline with --update")
+    Term.(const run $ baselines_term $ file_term $ update_term)
 
 (* ------------------------------------------------------------------ *)
 (* calm plan *)
@@ -1483,6 +1564,159 @@ let certify_cmd =
     Term.(const run $ program_src_term)
 
 (* ------------------------------------------------------------------ *)
+(* calm report *)
+
+let report_cmd =
+  let files_term =
+    Arg.(
+      non_empty
+      & pos_all file []
+      & info [] ~docv:"FILE"
+          ~doc:
+            "calm-bench/v1 trajectory files in chronological order (e.g. \
+             BENCH_baseline.json BENCH_indexed.json BENCH_ivm.json).")
+  in
+  let html_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "html" ] ~docv:"FILE"
+          ~doc:
+            "Write a self-contained HTML dashboard (inline-SVG \
+             sparklines, no external assets) to $(docv).")
+  in
+  let md_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "md" ] ~docv:"FILE"
+          ~doc:
+            "Write the markdown summary to $(docv) instead of stdout.")
+  in
+  let series_term =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "series" ] ~docv:"FILE"
+          ~doc:
+            "Include a calm-series/v1 JSONL artifact (from --series-out): \
+             each series becomes a sparkline row in the dashboard.")
+  in
+  let metrics_term =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:"Include a calm-metrics/v1 snapshot in the dashboard.")
+  in
+  let profile_term =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "profile" ] ~docv:"FILE"
+          ~doc:"Include a calm-profile/v1 document in the dashboard.")
+  in
+  let diff_term =
+    Arg.(
+      value & flag
+      & info [ "diff" ]
+          ~doc:
+            "Regression mode: compare consecutive files' shared \
+             experiments (guarded metric rows must be byte-equal when \
+             present on both sides; wall clock may grow at most \
+             $(b,--threshold)); print the per-metric regression table \
+             and exit 1 on any regression.")
+  in
+  let threshold_term =
+    Arg.(
+      value
+      & opt float Observe.Report.default_threshold
+      & info [ "threshold" ] ~docv:"FRAC"
+          ~doc:
+            "Maximum allowed relative wall-clock increase between \
+             consecutive files in $(b,--diff) mode (1.0 = doubling).")
+  in
+  let load_validated kind validate file =
+    let contents = read_file file in
+    match Observe.Json.of_string contents with
+    | Error m ->
+      Printf.eprintf "%s: not valid JSON: %s\n" file m;
+      exit 1
+    | Ok j -> (
+      match validate j with
+      | Error m ->
+        Printf.eprintf "%s: INVALID %s artifact: %s\n" file kind m;
+        exit 1
+      | Ok () -> j)
+  in
+  let run files html md series metrics profile diff threshold =
+    let benches =
+      List.map
+        (fun path ->
+          match Observe.Report.load_bench ~path (read_file path) with
+          | Ok b -> b
+          | Error m ->
+            Printf.eprintf "%s\n" m;
+            exit 1)
+        files
+    in
+    if diff then begin
+      let regressions, compared = Observe.Report.diff ~threshold benches in
+      print_string (Observe.Report.render_diff regressions compared);
+      if regressions <> [] then exit 1
+    end
+    else begin
+      let series_contents =
+        Option.map
+          (fun file ->
+            let contents = read_file file in
+            match Observe.Schema_check.validate_series_jsonl contents with
+            | Ok () -> contents
+            | Error m ->
+              Printf.eprintf "%s: INVALID calm-series/v1 artifact: %s\n"
+                file m;
+              exit 1)
+          series
+      in
+      let metrics_json =
+        Option.map
+          (load_validated "calm-metrics/v1"
+             Observe.Schema_check.validate_metrics)
+          metrics
+      in
+      let profile_json =
+        Option.map
+          (load_validated "calm-profile/v1"
+             Observe.Schema_check.validate_profile)
+          profile
+      in
+      (match html with
+      | None -> ()
+      | Some file ->
+        write_file file
+          (Observe.Report.html ?series:series_contents ?metrics:metrics_json
+             ?profile:profile_json benches);
+        Printf.printf "report: wrote %s\n" file);
+      let summary = Observe.Report.markdown benches in
+      match md with
+      | None -> if html = None then print_string summary
+      | Some file ->
+        write_file file summary;
+        Printf.printf "report: wrote %s\n" file
+    end
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "aggregate the committed bench trajectory (plus optional metrics \
+          / series / profile artifacts) into an HTML dashboard and \
+          markdown summary, or gate regressions across the whole history \
+          with --diff")
+    Term.(
+      const run $ files_term $ html_term $ md_term $ series_term
+      $ metrics_term $ profile_term $ diff_term $ threshold_term)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc = "weaker forms of monotonicity for declarative networking" in
@@ -1493,6 +1727,6 @@ let () =
           [
             eval_cmd; classify_cmd; check_cmd; simulate_cmd; run_cmd;
             sweep_cmd; netquery_cmd; explain_cmd; detect_cmd; explore_cmd;
-            validate_cmd; bench_diff_cmd; plan_cmd; profile_cmd; graph_cmd;
-            figure2_cmd; lint_cmd; certify_cmd;
+            validate_cmd; bench_diff_cmd; report_cmd; plan_cmd; profile_cmd;
+            graph_cmd; figure2_cmd; lint_cmd; certify_cmd;
           ]))

@@ -557,6 +557,11 @@ let counting_maintain rs s ~ghr =
 
 let run_update h ~destructive ~add_list ~remove =
   Observe.Metrics.incr m_applies;
+  (* Trajectory of delta sizes, tick auto-assigned per apply: shows how
+     the workload's updates shrink or grow over a scan. *)
+  if Observe.Series.is_enabled () then
+    Observe.Series.sample_auto "eval.ivm_delta"
+      (float_of_int (List.length add_list + Instance.cardinal remove));
   let rs =
     {
       h;

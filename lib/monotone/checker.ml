@@ -45,8 +45,10 @@ let m_scan = Observe.Metrics.timing "monotone.scan"
    pool worker domains under [jobs > 1], whose ambient span stack is
    empty, so absolute paths are what makes the parallel profile
    aggregate with the sequential one. *)
-let probe_group ~cache ~ivm kind q (base, exts) =
+let probe_group ~cache ~ivm kind q (ord, (base, exts)) =
   Observe.Profile.span_rooted [ "scan"; "base" ] @@ fun () ->
+  let series_on = Observe.Series.is_enabled () in
+  let wall0 = if series_on then Unix.gettimeofday () else 0. in
   let is_ivm_route = cache && Query.route ~ivm q = Query.Ivm in
   let route =
     match Query.route ~ivm q with
@@ -109,6 +111,21 @@ let probe_group ~cache ~ivm kind q (base, exts) =
     if is_ivm_route && not empty_fast then
       Observe.Metrics.incr ~by:!scanned m_ivm_hits
   end;
+  (* Per-base trajectory, tick = the base's ordinal in enumeration
+     order: on the parallel path these land in the pool's per-task
+     buffers and only groups up to the winning index commit, so the
+     stable series match the sequential scan's byte for byte. The wall
+     sample is volatile (schedule-dependent); it feeds the live line's
+     probes/sec, never the stable snapshot. *)
+  if series_on then begin
+    Observe.Series.sample "monotone.base_probes" ~tick:ord
+      (float_of_int !scanned);
+    (match !found with
+    | Some _ -> Observe.Series.sample "monotone.base_violation" ~tick:ord 1.
+    | None -> ());
+    Observe.Series.sample ~stable:false "monotone.base_wall" ~tick:ord
+      (Unix.gettimeofday () -. wall0)
+  end;
   (!scanned, !found)
 
 (* Scan a per-base grouped (base, extensions) stream for a violation.
@@ -120,6 +137,9 @@ let probe_group ~cache ~ivm kind q (base, exts) =
    enumeration order, so certificates (and their shrunken forms) are
    reproducible independently of [jobs]. *)
 let scan ?jobs ?(cache = true) ?(ivm = true) kind q groups =
+  (* Ordinal-tag the groups so the per-base series tick is the base's
+     position in enumeration order, a schedule-independent coordinate. *)
+  let groups = Seq.mapi (fun i g -> (i, g)) groups in
   let outcome =
     Observe.Profile.span_rooted [ "scan" ] @@ fun () ->
     Observe.Metrics.time m_scan (fun () ->

@@ -134,16 +134,24 @@ let check ?(max_configs = 20_000) ?jobs ~variant ~policy ~transducer ~query
     let start = Config.start network in
     let visited = ref (Cset.singleton start) in
     let frontier = ref [ start ] in
+    (* Per-depth trajectory: both the frontier sample and the wave's
+       dedup count happen in the sequential merge, so the series is
+       identical under any [jobs]. *)
+    let depth = ref 0 in
     try
       while !frontier <> [] do
         Observe.Metrics.observe m_frontier
           (float_of_int (List.length !frontier));
+        if Observe.Series.is_enabled () then
+          Observe.Series.sample "explore.frontier" ~tick:!depth
+            (float_of_int (List.length !frontier));
         let expanded =
           mapper
             (fun c ->
               Observe.Metrics.silenced (fun () -> (inspect c, successors c)))
             !frontier
         in
+        let wave_dedup = ref 0 in
         let next = ref [] in
         List.iter
           (fun (verdict, succs) ->
@@ -154,13 +162,20 @@ let check ?(max_configs = 20_000) ?jobs ~variant ~policy ~transducer ~query
             (match verdict with Some v -> raise (Found v) | None -> ());
             List.iter
               (fun c ->
-                if Cset.mem c !visited then Observe.Metrics.incr m_dedup
+                if Cset.mem c !visited then begin
+                  Observe.Metrics.incr m_dedup;
+                  incr wave_dedup
+                end
                 else begin
                   visited := Cset.add c !visited;
                   next := c :: !next
                 end)
               succs)
           expanded;
+        if Observe.Series.is_enabled () then
+          Observe.Series.sample "explore.dedup" ~tick:!depth
+            (float_of_int !wave_dedup);
+        incr depth;
         frontier := List.rev !next
       done;
       Consistent { configs = Cset.cardinal !visited }

@@ -346,3 +346,8 @@ let quiescent st =
   st.held = [] && st.crashes = []
   && List.for_all (fun part -> r >= part.from_round + part.rounds) p.partitions
   && (p.loss_prob <= 0. || r >= p.horizon)
+
+let held_pending st =
+  List.fold_left (fun acc h -> acc + h.copies) 0 st.held
+
+let crashes_pending st = List.length st.crashes

@@ -155,3 +155,11 @@ val quiescent : state -> bool
 (** No fault activity is pending: nothing held, no crash unfired, no
     partition active now or in the future, and probabilistic faults past
     their horizon. {!Run} refuses to declare quiescence before this. *)
+
+val held_pending : state -> int
+(** Total message copies currently held back (lost awaiting
+    retransmission or blocked by a partition) — the per-round fault
+    pressure the series recorder samples. *)
+
+val crashes_pending : state -> int
+(** Crashes scheduled but not yet struck. *)

@@ -36,6 +36,48 @@ let m_quiescence_round = Observe.Metrics.gauge "net.quiescence_round"
 let m_heartbeat_steps = Observe.Metrics.counter "net.heartbeat_steps"
 let m_run = Observe.Metrics.timing "net.run"
 
+(* Per-round trajectory sampling (Series recorder, gated off by default):
+   tick = stabilization round index, so points are keyed by a semantic
+   coordinate of the run and merge deterministically across jobs. *)
+let sample_round ~fault config ~round ~delta ~deliveries =
+  if Observe.Series.is_enabled () then begin
+    Observe.Series.sample "net.round_output_delta" ~tick:round
+      (float_of_int delta);
+    Observe.Series.sample "net.round_pending" ~tick:round
+      (float_of_int
+         (Value.Map.fold
+            (fun _ b acc -> acc + Multiset.size b)
+            config.Config.buffer 0));
+    Observe.Series.sample "net.round_deliveries" ~tick:round
+      (float_of_int deliveries);
+    match fault with
+    | None -> ()
+    | Some st ->
+      Observe.Series.sample "net.round_held" ~tick:round
+        (float_of_int (Fault.held_pending st));
+      Observe.Series.sample "net.round_crashes_pending" ~tick:round
+        (float_of_int (Fault.crashes_pending st))
+  end
+
+(* Plain heartbeat: a progress line on stderr every [cadence] seconds
+   (0 = off). With [--live] the Series recorder additionally emits
+   rate/quantile/ETA lines computed from the sampled buffers. *)
+type hb = { cadence : float; mutable last : float }
+
+let hb_start cadence = { cadence; last = Unix.gettimeofday () }
+
+let hb_tick hb fmt =
+  Printf.ksprintf
+    (fun line ->
+      if hb.cadence > 0. then begin
+        let now = Unix.gettimeofday () in
+        if now -. hb.last >= hb.cadence then begin
+          hb.last <- now;
+          Printf.eprintf "[hb] %s\n%!" line
+        end
+      end)
+    fmt
+
 let rec scheduler_label = function
   | Round_robin -> "round_robin"
   | Random _ -> "random"
@@ -448,8 +490,8 @@ let adversarial_phase rt ~variant ~policy ~transducer ~input steps config =
   in
   go steps config
 
-let run ?tracer ?(max_rounds = 500) ~variant ~policy ~transducer ~input
-    scheduler =
+let run ?tracer ?(max_rounds = 500) ?(heartbeat = 0.) ~variant ~policy
+    ~transducer ~input scheduler =
   Observe.Sink.span ~cat:"net"
     ~args:[ ("scheduler", Observe.Json.String (scheduler_label scheduler)) ]
     "net.run"
@@ -500,6 +542,10 @@ let run ?tracer ?(max_rounds = 500) ~variant ~policy ~transducer ~input
       adversarial_phase rt ~variant ~policy ~transducer ~input steps config0
     | Faulty _ -> assert false
   in
+  if Observe.Series.is_enabled () then
+    Observe.Series.set_target "net.round_output_delta"
+      (float_of_int max_rounds);
+  let hb = hb_start heartbeat in
   let rec stabilize rounds prev prev_out config =
     if rounds >= max_rounds then (config, rounds, false)
     else begin
@@ -510,6 +556,10 @@ let run ?tracer ?(max_rounds = 500) ~variant ~policy ~transducer ~input
       let out' = Instance.cardinal (Config.outputs schema config') in
       Observe.Metrics.observe m_round_output_delta
         (float_of_int (out' - prev_out));
+      sample_round ~fault:rt.fault config' ~round:rounds
+        ~delta:(out' - prev_out) ~deliveries:counters.n_deliveries;
+      hb_tick hb "round=%d transitions=%d deliveries=%d outputs=%d" rounds
+        counters.n_transitions counters.n_deliveries out';
       let snap = snapshot config' in
       (* A faulty run may look quiescent while a crash is still
          scheduled, a partition still up, or retransmissions still
@@ -546,11 +596,14 @@ let run ?tracer ?(max_rounds = 500) ~variant ~policy ~transducer ~input
    the same order — events included: earlier versions silently dropped
    tracing in parallel mode; now every cell traces into a private
    collector and the merged list carries each cell's events. *)
-let sweep ?jobs ?max_rounds ~variant ~transducer ~input cells =
+let sweep ?jobs ?max_rounds ?heartbeat ~variant ~transducer ~input cells =
   let run_cell (label, policy, scheduler) =
+    (* Label the cell's series so parallel cells keep distinct keys. *)
+    Observe.Series.with_label ("cell", label) @@ fun () ->
     let tracer = Trace.collector () in
     let result =
-      run ~tracer ?max_rounds ~variant ~policy ~transducer ~input scheduler
+      run ~tracer ?max_rounds ?heartbeat ~variant ~policy ~transducer ~input
+        scheduler
     in
     (label, result, Trace.events tracer)
   in
@@ -560,8 +613,9 @@ let sweep ?jobs ?max_rounds ~variant ~transducer ~input cells =
         Parallel.Pool.map pool run_cell cells)
   | _ -> List.map run_cell cells
 
-let heartbeat_prefix ?tracer ?(max_steps = 200) ~variant ~policy ~transducer
-    ~input ~node () =
+let heartbeat_prefix ?tracer ?(max_steps = 200) ?(heartbeat = 0.) ~variant
+    ~policy ~transducer ~input ~node () =
+  let hb = hb_start heartbeat in
   let counters =
     {
       n_transitions = 0;
@@ -579,6 +633,7 @@ let heartbeat_prefix ?tracer ?(max_steps = 200) ~variant ~policy ~transducer
         do_step rt ~variant ~policy ~transducer ~input config node (fun _ ->
             Multiset.empty)
       in
+      hb_tick hb "heartbeat step=%d/%d" (k + 1) max_steps;
       if Instance.equal (Config.state_of config' node) (Config.state_of config node)
       then (config', true)
       else go (k + 1) config'

@@ -59,17 +59,25 @@ type result = {
 val run :
   ?tracer:Trace.collector ->
   ?max_rounds:int ->
+  ?heartbeat:float ->
   variant:Config.variant ->
   policy:Policy.t ->
   transducer:Transducer.t ->
   input:Instance.t ->
   scheduler -> result
 (** [max_rounds] (default 500) bounds the stabilization phase; a result
-    with [quiesced = false] hit the bound. *)
+    with [quiesced = false] hit the bound. [heartbeat] (seconds, default
+    [0.] = off) prints a [\[hb\] round=… transitions=…] progress line on
+    stderr at most once per cadence during stabilization. When the
+    {!Observe.Series} recorder is enabled, each stabilization round also
+    samples [net.round_output_delta], [net.round_pending],
+    [net.round_deliveries] and (under faults) [net.round_held] /
+    [net.round_crashes_pending] at [tick = round]. *)
 
 val sweep :
   ?jobs:int ->
   ?max_rounds:int ->
+  ?heartbeat:float ->
   variant:Config.variant ->
   transducer:Transducer.t ->
   input:Instance.t ->
@@ -83,11 +91,15 @@ val sweep :
     parallel mode; per-cell collectors restore them under any [jobs].)
     Metrics recorded during each cell's run are merged back in cell
     order by {!Parallel.Pool.map}, so stable metric snapshots are
-    [jobs]-independent too. *)
+    [jobs]-independent too. Series recorded during a cell get a
+    [cell=<label>] label (see {!Observe.Series.with_label}), keeping
+    parallel cells' trajectories distinct; [heartbeat] is passed through
+    to each cell's {!run}. *)
 
 val heartbeat_prefix :
   ?tracer:Trace.collector ->
   ?max_steps:int ->
+  ?heartbeat:float ->
   variant:Config.variant ->
   policy:Policy.t ->
   transducer:Transducer.t ->

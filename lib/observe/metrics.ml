@@ -49,6 +49,49 @@ let histogram ?labels ?stable name = register ?labels ?stable Histogram name
 let timing ?labels name = register ?labels ~stable:false Timing name
 
 (* ------------------------------------------------------------------ *)
+(* Log-bucketed value histograms (HDR-style).
+
+   A bucket key is derived from the value alone — sign, power-of-two
+   octave, and one of [sub_count] equal mantissa sub-buckets — so the
+   same multiset of observations always lands in the same buckets no
+   matter the order or the domain that recorded them, and merging is
+   per-key count addition. That exactness is what keeps quantile
+   readouts byte-identical across [jobs]. Key layout: 0 is the zero
+   bucket; positive values map to [bucket_offset + octave*sub_count +
+   sub] (monotone in the value), negative values to the negated key, so
+   integer key order is value order. Non-finite observations update
+   (count, sum, last) but are not bucketed. *)
+
+let sub_count = 8
+let bucket_offset = 100_000
+
+let bucket_of_value v =
+  if v = 0. then 0
+  else
+    let m, e = Float.frexp (Float.abs v) in
+    (* m in [0.5, 1): sub-bucket of width 0.5 / sub_count. *)
+    let sub = int_of_float ((m -. 0.5) *. 2. *. float_of_int sub_count) in
+    let sub = if sub >= sub_count then sub_count - 1 else sub in
+    let idx = (e * sub_count) + sub in
+    if v > 0. then bucket_offset + idx else -(bucket_offset + idx)
+
+(* The bucket's representative: its edge closest to zero, so quantile
+   readouts are conservative in magnitude and, like the key itself,
+   depend only on the bucket. *)
+let bucket_value k =
+  if k = 0 then 0.
+  else
+    let idx = abs k - bucket_offset in
+    let e =
+      if idx >= 0 then idx / sub_count
+      else -(((-idx) + sub_count - 1) / sub_count)
+    in
+    let sub = idx - (e * sub_count) in
+    let m = 0.5 +. (float_of_int sub *. 0.5 /. float_of_int sub_count) in
+    let v = Float.ldexp m e in
+    if k > 0 then v else -.v
+
+(* ------------------------------------------------------------------ *)
 (* Collectors *)
 
 type cell = {
@@ -57,7 +100,21 @@ type cell = {
   mutable vmin : float;
   mutable vmax : float;
   mutable last : float;
+  (* Allocated on the first [observe]; counters and gauges never pay
+     for it. *)
+  mutable buckets : (int, int) Hashtbl.t option;
 }
+
+let bucket_incr c k n =
+  let tbl =
+    match c.buckets with
+    | Some tbl -> tbl
+    | None ->
+      let tbl = Hashtbl.create 8 in
+      c.buckets <- Some tbl;
+      tbl
+  in
+  Hashtbl.replace tbl k (n + Option.value ~default:0 (Hashtbl.find_opt tbl k))
 
 type t = { lock : Mutex.t; mutable cells : cell option array }
 
@@ -86,7 +143,16 @@ let cell_of t (h : handle) =
   match t.cells.(h.id) with
   | Some c -> c
   | None ->
-    let c = { count = 0; sum = 0.; vmin = nan; vmax = nan; last = nan } in
+    let c =
+      {
+        count = 0;
+        sum = 0.;
+        vmin = nan;
+        vmax = nan;
+        last = nan;
+        buckets = None;
+      }
+    in
     t.cells.(h.id) <- Some c;
     c
 
@@ -118,7 +184,8 @@ let observe h v =
       c.count <- c.count + 1;
       c.sum <- c.sum +. v;
       c.last <- v;
-      widen c v)
+      widen c v;
+      if Float.is_finite v then bucket_incr c (bucket_of_value v) 1)
 
 let set h v =
   record (current ()) h (fun c ->
@@ -157,7 +224,11 @@ let merge_into dst src =
         else begin
           if s.vmin < d.vmin then d.vmin <- s.vmin;
           if s.vmax > d.vmax then d.vmax <- s.vmax
-        end)
+        end;
+        (* Bucketed histograms merge exactly: per-key count addition. *)
+        match s.buckets with
+        | None -> ()
+        | Some tbl -> Hashtbl.iter (fun k n -> bucket_incr d k n) tbl)
     src.cells;
   Mutex.unlock dst.lock
 
@@ -179,7 +250,34 @@ type row = {
   vmin : float;
   vmax : float;
   last : float;
+  buckets : (int * int) list;
 }
+
+let row_buckets (c : cell) =
+  match c.buckets with
+  | None -> []
+  | Some tbl ->
+    List.sort
+      (fun (a, _) (b, _) -> compare a b)
+      (Hashtbl.fold (fun k n acc -> (k, n) :: acc) tbl [])
+
+(* Nearest-rank quantile over the bucket counts: the representative of
+   the bucket holding the ceil(p * n)-th observation. [nan] when nothing
+   was bucketed (counters, gauges, empty or all-non-finite histograms). *)
+let quantile (r : row) p =
+  match r.buckets with
+  | [] -> nan
+  | buckets ->
+    let total = List.fold_left (fun acc (_, n) -> acc + n) 0 buckets in
+    let rank = int_of_float (Float.ceil (p *. float_of_int total)) in
+    let rank = max 1 (min rank total) in
+    let rec go acc = function
+      | [] -> r.vmax
+      | (k, n) :: rest ->
+        let acc = acc + n in
+        if acc >= rank then bucket_value k else go acc rest
+    in
+    go 0 buckets
 
 let snapshot ?(stable_only = false) t =
   Mutex.lock intern_lock;
@@ -207,6 +305,7 @@ let snapshot ?(stable_only = false) t =
                 vmin = c.vmin;
                 vmax = c.vmax;
                 last = c.last;
+                buckets = row_buckets c;
               })
       handles
   in
@@ -233,29 +332,55 @@ let num f =
     Printf.sprintf "%.0f" f
   else Printf.sprintf "%.17g" f
 
+let quantile_suffix r =
+  match r.kind with
+  | Histogram | Timing ->
+    Printf.sprintf " p50=%s p90=%s p99=%s"
+      (num (quantile r 0.50))
+      (num (quantile r 0.90))
+      (num (quantile r 0.99))
+  | Counter | Gauge -> ""
+
 let render_stable t =
   let b = Buffer.create 256 in
   List.iter
     (fun r ->
       Buffer.add_string b
-        (Printf.sprintf "%s%s %s count=%d sum=%s min=%s max=%s last=%s\n"
+        (Printf.sprintf "%s%s %s count=%d sum=%s min=%s max=%s last=%s%s\n"
            r.name (label_string r.labels) (kind_to_string r.kind) r.count
-           (num r.sum) (num r.vmin) (num r.vmax) (num r.last)))
+           (num r.sum) (num r.vmin) (num r.vmax) (num r.last)
+           (quantile_suffix r)))
     (snapshot ~stable_only:true t);
   Buffer.contents b
 
 let row_to_json r =
+  let distribution =
+    match r.kind with
+    | Counter | Gauge -> []
+    | Histogram | Timing ->
+      [
+        ("p50", Json.Float (quantile r 0.50));
+        ("p90", Json.Float (quantile r 0.90));
+        ("p99", Json.Float (quantile r 0.99));
+        ( "buckets",
+          Json.List
+            (List.map
+               (fun (k, n) -> Json.List [ Json.Int k; Json.Int n ])
+               r.buckets) );
+      ]
+  in
   Json.Obj
-    [
-      ("name", Json.String r.name);
-      ("labels", Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) r.labels));
-      ("kind", Json.String (kind_to_string r.kind));
-      ("count", Json.Int r.count);
-      ("sum", Json.Float r.sum);
-      ("min", Json.Float r.vmin);
-      ("max", Json.Float r.vmax);
-      ("last", Json.Float r.last);
-    ]
+    ([
+       ("name", Json.String r.name);
+       ("labels", Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) r.labels));
+       ("kind", Json.String (kind_to_string r.kind));
+       ("count", Json.Int r.count);
+       ("sum", Json.Float r.sum);
+       ("min", Json.Float r.vmin);
+       ("max", Json.Float r.vmax);
+       ("last", Json.Float r.last);
+     ]
+    @ distribution)
 
 let to_json t =
   let rows = snapshot t in
@@ -279,10 +404,15 @@ let pp_profile ?(redact_timings = false) ppf t =
     | Counter -> string_of_int r.count
     | Gauge -> num r.last
     | Histogram | Timing ->
-      Printf.sprintf "n=%d sum=%s min=%s max=%s" r.count (num r.sum)
-        (num r.vmin) (num r.vmax)
+      Printf.sprintf "n=%d sum=%s min=%s max=%s p50=%s p90=%s p99=%s" r.count
+        (num r.sum) (num r.vmin) (num r.vmax)
+        (num (quantile r 0.50))
+        (num (quantile r 0.90))
+        (num (quantile r 0.99))
   in
-  let redacted r = Printf.sprintf "n=%d sum=- min=- max=-" r.count in
+  let redacted r =
+    Printf.sprintf "n=%d sum=- min=- max=- p50=- p90=- p99=-" r.count
+  in
   Format.fprintf ppf "== profile: stable metrics ==@.";
   List.iter
     (fun r ->

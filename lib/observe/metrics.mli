@@ -40,7 +40,13 @@ val gauge : ?labels:(string * string) list -> ?stable:bool -> string -> handle
 
 val histogram :
   ?labels:(string * string) list -> ?stable:bool -> string -> handle
-(** Distribution summary: count, sum, min, max of observed values. *)
+(** Distribution: count, sum, min, max, plus a log-bucketed value
+    histogram supporting {!quantile} readout. Buckets are HDR-style —
+    base-2 octaves split into equal mantissa sub-buckets — so a value's
+    bucket depends on the value alone: the same observations produce the
+    same buckets in any order, and merging per-task buffers is exact
+    per-bucket count addition, keeping p50/p90/p99 readouts of stable
+    histograms byte-identical across [jobs]. *)
 
 val timing : ?labels:(string * string) list -> string -> handle
 (** A histogram of durations in seconds; always volatile. *)
@@ -82,9 +88,10 @@ val silenced : (unit -> 'a) -> 'a
 
 val merge_into : t -> t -> unit
 (** [merge_into dst src] adds [src]'s cells into [dst]: counters and
-    histograms add (count, sum) and widen (min, max); a gauge written in
-    [src] overwrites the one in [dst]. Merging per-task buffers in input
-    order therefore reproduces exactly the sequential recording order. *)
+    histograms add (count, sum), widen (min, max), and add per-bucket
+    counts; a gauge written in [src] overwrites the one in [dst].
+    Merging per-task buffers in input order therefore reproduces exactly
+    the sequential recording order. *)
 
 val reset : t -> unit
 
@@ -100,7 +107,24 @@ type row = {
   vmin : float;     (** [nan] when count = 0 *)
   vmax : float;
   last : float;     (** gauges: the last written value *)
+  buckets : (int * int) list;
+      (** log-bucket key -> observation count, sorted by key (which is
+          value order); empty for counters and gauges *)
 }
+
+val quantile : row -> float -> float
+(** Nearest-rank quantile from the bucket counts: the representative
+    value (zero-side edge) of the bucket holding the [ceil (p * n)]-th
+    observation. [nan] when the row has no buckets. *)
+
+val bucket_of_value : float -> int
+(** The log-bucket key of a finite value: 0 for zero, sign-mirrored
+    monotone integer keys otherwise. Exposed for the determinism wall. *)
+
+val bucket_value : int -> float
+(** The representative of a bucket key: its edge closest to zero.
+    [bucket_of_value (bucket_value k) = k] for every key produced by
+    {!bucket_of_value}. *)
 
 val snapshot : ?stable_only:bool -> t -> row list
 (** Rows with at least one recording, sorted by (name, labels); with

@@ -51,6 +51,20 @@ let rec each f i = function
 
 let known_kinds = [ "counter"; "gauge"; "histogram"; "timing" ]
 
+(* A [[tick, value]] / [[bucket, count]] pair list shared by the series
+   points and the histogram buckets. *)
+let pair_list ~what ~second_int name l =
+  each
+    (fun p ->
+      match p with
+      | Json.List [ Json.Int _; Json.Int _ ] -> Ok ()
+      | Json.List [ Json.Int _; (Json.Float _ | Json.Null) ]
+        when not second_int ->
+        Ok ()
+      | _ -> error "%S: %s entry is not an [int, %s] pair" name what
+               (if second_int then "int" else "number"))
+    0 l
+
 let validate_row row =
   let* name = string_field "name" row in
   let* _ = obj_field "labels" row in
@@ -60,6 +74,12 @@ let validate_row row =
   let* _ = field "min" row in
   let* _ = field "max" row in
   let* _ = field "last" row in
+  let* () =
+    match Json.member "buckets" row with
+    | None -> Ok ()
+    | Some (Json.List l) -> pair_list ~what:"bucket" ~second_int:true name l
+    | Some _ -> error "row %S: buckets is not an array" name
+  in
   if not (List.mem kind known_kinds) then
     error "row %S has unknown kind %S" name kind
   else if count < 0 then error "row %S has negative count" name
@@ -201,3 +221,53 @@ let validate_trace j =
         let* _ = number_field "ts" e in
         Ok ())
     0 events
+
+(* The calm-series/v1 export is JSONL: a header line carrying the schema
+   tag, then one object per series. Validated line by line so an error
+   names the offending line. *)
+let validate_series_row j =
+  let* name = string_field "series" j in
+  let* labels = obj_field "labels" j in
+  let* () =
+    each
+      (function
+        | _, Json.String _ -> Ok ()
+        | k, _ -> error "label %S is not a string" k)
+      0 labels
+  in
+  let* () =
+    match Json.member "stable" j with
+    | Some (Json.Bool _) -> Ok ()
+    | Some _ -> error "series %S: stable is not a bool" name
+    | None -> error "series %S: missing field \"stable\"" name
+  in
+  let* stride = int_field "stride" j in
+  let* points = list_field "points" j in
+  if name = "" then error "series has an empty name"
+  else if stride < 1 then error "series %S has stride %d < 1" name stride
+  else pair_list ~what:"point" ~second_int:false name points
+
+let validate_series_jsonl s =
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' s)
+  in
+  match lines with
+  | [] -> error "empty series document"
+  | header :: rows ->
+    let* h =
+      match Json.of_string header with
+      | Ok j -> Ok j
+      | Error e -> error "header line: %s" e
+    in
+    let* () = expect_schema "calm-series/v1" h in
+    let rec go lineno = function
+      | [] -> Ok ()
+      | line :: rest -> (
+        match Json.of_string line with
+        | Error e -> error "line %d: %s" lineno e
+        | Ok j -> (
+          match validate_series_row j with
+          | Ok () -> go (lineno + 1) rest
+          | Error e -> error "line %d: %s" lineno e))
+    in
+    go 2 rows

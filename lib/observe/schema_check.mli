@@ -33,3 +33,9 @@ val validate_causal : Json.t -> (unit, string) result
     clock, a non-empty [vector] object of positive ints, [origins] as
     [[fact, send index]] pairs, and [delivered]/[sent]/[output_delta]
     fact arrays. *)
+
+val validate_series_jsonl : string -> (unit, string) result
+(** The [--series-out] JSONL document: a [{"schema":"calm-series/v1"}]
+    header line, then one object per series with a non-empty [series]
+    name, string [labels], a [stable] bool, a [stride >= 1], and
+    [points] as [[tick, value]] pairs. *)

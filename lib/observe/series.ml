@@ -1,0 +1,384 @@
+(* Bounded ring-buffer time-series recorder. See series.mli for the
+   design constraints (one-atomic-load gate when off, tick-keyed points
+   so merging is schedule-independent, stride-doubling downsampling that
+   commutes with merge). *)
+
+let enabled = Atomic.make false
+let enable () = Atomic.set enabled true
+let disable () = Atomic.set enabled false
+let is_enabled () = Atomic.get enabled
+
+let default_capacity = 512
+
+type point = { tick : int; value : float }
+
+type series = {
+  stable : bool;
+  auto : bool;
+  mutable stride : int;
+  mutable rev_points : point list;  (* newest first *)
+  mutable n : int;
+  mutable arrivals : int;
+  (* Wall clocks of the first/last arrival: volatile, never exported in
+     stable renderings — they only feed the live flight recorder. *)
+  mutable first_wall : float;
+  mutable last_wall : float;
+}
+
+type key = string * (string * string) list
+
+type t = {
+  lock : Mutex.t;
+  capacity : int;
+  tbl : (key, series) Hashtbl.t;
+}
+
+let create ?(capacity = default_capacity) () =
+  { lock = Mutex.create (); capacity = max 2 capacity; tbl = Hashtbl.create 8 }
+
+let root = create ()
+
+let ambient : t Domain.DLS.key = Domain.DLS.new_key (fun () -> root)
+
+let current () = Domain.DLS.get ambient
+
+let with_current t f =
+  let saved = Domain.DLS.get ambient in
+  Domain.DLS.set ambient t;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set ambient saved) f
+
+let silenced f = with_current (create ()) f
+
+(* Task buffers never downsample: they hold every raw point of one
+   bounded work unit so that replaying them into the caller's recorder
+   (in input order) reconstructs exactly the sequential arrival
+   sequence — stride decisions included. *)
+let task_buffer () = create ~capacity:max_int ()
+
+(* Ambient label context: [with_label] scopes an extra label onto every
+   sample recorded inside, e.g. the sweep labels each cell so parallel
+   cells keep distinct series. *)
+let label_ctx : (string * string) list Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> [])
+
+let with_label kv f =
+  let saved = Domain.DLS.get label_ctx in
+  Domain.DLS.set label_ctx (kv :: saved);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set label_ctx saved) f
+
+(* ------------------------------------------------------------------ *)
+(* Recording *)
+
+(* Ticks are non-negative in practice; Euclidean remainder keeps the
+   keep-set well-defined either way. *)
+let keeps stride tick = tick mod stride = 0 || (tick mod stride) + stride = 0
+
+let downsample_series s =
+  s.stride <- 2 * s.stride;
+  let kept = List.filter (fun p -> keeps s.stride p.tick) s.rev_points in
+  s.rev_points <- kept;
+  s.n <- List.length kept
+
+let find_series t key ~stable ~auto =
+  match Hashtbl.find_opt t.tbl key with
+  | Some s -> s
+  | None ->
+    let s =
+      {
+        stable;
+        auto;
+        stride = 1;
+        rev_points = [];
+        n = 0;
+        arrivals = 0;
+        first_wall = nan;
+        last_wall = nan;
+      }
+    in
+    Hashtbl.add t.tbl key s;
+    s
+
+(* The one append path, shared by recording and merge replay, so both
+   make identical keep/downsample decisions. Caller holds [t.lock]. *)
+let push t s ~wall ~tick value =
+  let tick = if s.auto then s.arrivals else tick in
+  if s.arrivals = 0 then s.first_wall <- wall;
+  s.last_wall <- wall;
+  s.arrivals <- s.arrivals + 1;
+  if keeps s.stride tick then begin
+    (match s.rev_points with
+    | p :: rest when p.tick = tick ->
+      (* Same tick sampled again: last write wins. *)
+      s.rev_points <- { tick; value } :: rest
+    | _ ->
+      s.rev_points <- { tick; value } :: s.rev_points;
+      s.n <- s.n + 1);
+    while s.n > t.capacity do
+      downsample_series s
+    done
+  end;
+  s
+
+let normalize_labels labels =
+  List.sort (fun (a, _) (b, _) -> String.compare a b) labels
+
+(* Forward declaration dance for the live recorder (defined below): the
+   sampling hot path calls it through this ref. *)
+let live_hook : (key -> series -> float -> unit) ref = ref (fun _ _ _ -> ())
+
+let record ?(labels = []) ?(stable = true) ~auto name ~tick value =
+  if Atomic.get enabled then begin
+    let t = current () in
+    let labels = normalize_labels (labels @ Domain.DLS.get label_ctx) in
+    let key = (name, labels) in
+    let wall = Unix.gettimeofday () in
+    Mutex.lock t.lock;
+    let s =
+      try push t (find_series t key ~stable ~auto) ~wall ~tick value
+      with e ->
+        Mutex.unlock t.lock;
+        raise e
+    in
+    Mutex.unlock t.lock;
+    !live_hook key s wall
+  end
+
+let sample ?labels ?stable name ~tick value =
+  record ?labels ?stable ~auto:false name ~tick value
+
+let sample_auto ?labels ?stable name value =
+  record ?labels ?stable ~auto:true name ~tick:0 value
+
+(* ------------------------------------------------------------------ *)
+(* Merge *)
+
+let merge_into dst src =
+  (* [src] is owned by a finished task, so only [dst] needs locking.
+     Keys replay in sorted order and points in arrival order, so the
+     merged recorder is a deterministic function of the input-ordered
+     task buffers, independent of scheduling. Strides align upward
+     before the replay: filtering by stride depends only on the tick, so
+     downsampling commutes with merging (the property the test wall
+     pins). *)
+  let keys =
+    List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) src.tbl [])
+  in
+  Mutex.lock dst.lock;
+  (try
+     List.iter
+       (fun key ->
+         let s = Hashtbl.find src.tbl key in
+         let d = find_series dst key ~stable:s.stable ~auto:s.auto in
+         if s.stride > d.stride then begin
+           d.stride <- s.stride;
+           let kept = List.filter (fun p -> keeps d.stride p.tick) d.rev_points in
+           d.rev_points <- kept;
+           d.n <- List.length kept
+         end;
+         List.iter
+           (fun p ->
+             let wall =
+               if Float.is_nan s.last_wall then Unix.gettimeofday ()
+               else s.last_wall
+             in
+             ignore (push dst d ~wall ~tick:p.tick p.value))
+           (List.rev s.rev_points))
+       keys
+   with e ->
+     Mutex.unlock dst.lock;
+     raise e);
+  Mutex.unlock dst.lock
+
+let downsample t =
+  Mutex.lock t.lock;
+  Hashtbl.iter (fun _ s -> downsample_series s) t.tbl;
+  Mutex.unlock t.lock
+
+let reset t =
+  Mutex.lock t.lock;
+  Hashtbl.reset t.tbl;
+  Mutex.unlock t.lock
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots and exporters *)
+
+type row = {
+  name : string;
+  labels : (string * string) list;
+  stable : bool;
+  stride : int;
+  points : point list;  (* arrival order *)
+}
+
+let rows ?(stable_only = false) t =
+  Mutex.lock t.lock;
+  let out =
+    Hashtbl.fold
+      (fun (name, labels) (s : series) acc ->
+        if stable_only && not s.stable then acc
+        else if s.rev_points = [] then acc
+        else
+          {
+            name;
+            labels;
+            stable = s.stable;
+            stride = s.stride;
+            points = List.rev s.rev_points;
+          }
+          :: acc)
+      t.tbl []
+  in
+  Mutex.unlock t.lock;
+  List.sort
+    (fun a b ->
+      match String.compare a.name b.name with
+      | 0 -> compare a.labels b.labels
+      | c -> c)
+    out
+
+let num f =
+  if Float.is_nan f then "nan"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+let label_string labels =
+  match labels with
+  | [] -> ""
+  | _ ->
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) labels)
+    ^ "}"
+
+let render_stable t =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun r ->
+      Buffer.add_string b
+        (Printf.sprintf "%s%s stride=%d n=%d points=%s\n" r.name
+           (label_string r.labels) r.stride (List.length r.points)
+           (String.concat ","
+              (List.map
+                 (fun p -> Printf.sprintf "%d:%s" p.tick (num p.value))
+                 r.points))))
+    (rows ~stable_only:true t);
+  Buffer.contents b
+
+let to_jsonl t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Json.to_string (Json.Obj [ ("schema", Json.String "calm-series/v1") ]));
+  Buffer.add_char b '\n';
+  List.iter
+    (fun r ->
+      Buffer.add_string b
+        (Json.to_string
+           (Json.Obj
+              [
+                ("series", Json.String r.name);
+                ( "labels",
+                  Json.Obj
+                    (List.map (fun (k, v) -> (k, Json.String v)) r.labels) );
+                ("stable", Json.Bool r.stable);
+                ("stride", Json.Int r.stride);
+                ( "points",
+                  Json.List
+                    (List.map
+                       (fun p ->
+                         Json.List [ Json.Int p.tick; Json.Float p.value ])
+                       r.points) );
+              ]));
+      Buffer.add_char b '\n')
+    (rows t);
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Live flight recorder *)
+
+type live = {
+  llock : Mutex.t;
+  mutable cadence : float;
+  mutable last_emit : float;
+  mutable out : out_channel;
+  targets : (string, float) Hashtbl.t;
+}
+
+let live =
+  {
+    llock = Mutex.create ();
+    cadence = 0.;
+    last_emit = 0.;
+    out = stderr;
+    targets = Hashtbl.create 4;
+  }
+
+let live_on = Atomic.make false
+
+let set_live ?(out = stderr) cadence =
+  Mutex.lock live.llock;
+  live.cadence <- cadence;
+  live.out <- out;
+  live.last_emit <- 0.;
+  Mutex.unlock live.llock;
+  Atomic.set live_on (cadence > 0.)
+
+let set_target name total =
+  Mutex.lock live.llock;
+  if total > 0. then Hashtbl.replace live.targets name total
+  else Hashtbl.remove live.targets name;
+  Mutex.unlock live.llock
+
+(* Quantiles of the buffered values by sorting — the live line is
+   human-oriented and schedule-dependent by nature, so unlike the
+   Metrics buckets it needs no merge-exactness. *)
+let buffer_quantile sorted p =
+  match Array.length sorted with
+  | 0 -> nan
+  | n ->
+    let rank = int_of_float (Float.ceil (p *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+
+let live_line (name, labels) s =
+  let values =
+    Array.of_list (List.map (fun p -> p.value) s.rev_points)
+  in
+  Array.sort compare values;
+  let span = s.last_wall -. s.first_wall in
+  let rate =
+    if span > 0. then float_of_int (s.arrivals - 1) /. span else nan
+  in
+  let eta =
+    match Hashtbl.find_opt live.targets name with
+    | Some total when rate > 0. && float_of_int s.arrivals < total ->
+      Printf.sprintf "%.1fs" ((total -. float_of_int s.arrivals) /. rate)
+    | _ -> "-"
+  in
+  let last =
+    match s.rev_points with [] -> nan | p :: _ -> p.value
+  in
+  Printf.sprintf
+    "[live] %s%s n=%d last=%s p50=%s p90=%s p99=%s rate=%s/s eta=%s"
+    name (label_string labels) s.arrivals (num last)
+    (num (buffer_quantile values 0.50))
+    (num (buffer_quantile values 0.90))
+    (num (buffer_quantile values 0.99))
+    (if Float.is_nan rate then "-" else Printf.sprintf "%.1f" rate)
+    eta
+
+let () =
+  live_hook :=
+    fun key s wall ->
+      if Atomic.get live_on then begin
+        Mutex.lock live.llock;
+        let due = wall -. live.last_emit >= live.cadence in
+        if due then live.last_emit <- wall;
+        let line = if due then Some (live_line key s) else None in
+        Mutex.unlock live.llock;
+        match line with
+        | Some l ->
+          output_string live.out (l ^ "\n");
+          flush live.out
+        | None -> ()
+      end
+

@@ -1,0 +1,130 @@
+(** Bounded time-series recorder: how a run evolves, not just its
+    totals.
+
+    {!Metrics} answers "how much, in total" — this module records the
+    trajectory: one {e point} per (series, labels, tick), where the tick
+    is a semantic coordinate of the run (stabilization round, BFS depth,
+    base ordinal, apply ordinal), never a wall clock. Three constraints
+    shape it:
+
+    {ol
+    {- {b One atomic load when off.} Like {!Profile}, recording is gated
+       on a global flag; instrumented hot paths pay a single
+       [Atomic.get] when the recorder is disabled.}
+    {- {b Determinism under [?jobs].} Points are keyed by tick, work
+       units on the {!Parallel.Pool} record into per-task buffers
+       ({!task_buffer}: unbounded, so they keep every raw point), and
+       the pool replays those buffers into the caller's recorder in
+       input order — so a stable series is byte-identical across job
+       counts, exactly like stable metrics.}
+    {- {b Bounded memory.} Each series keeps at most [capacity] points.
+       On overflow the stride doubles and only points with
+       [tick mod stride = 0] survive (deterministic 2:1 downsampling).
+       The keep-set depends on the tick alone, so downsampling commutes
+       with merging — the property the test wall pins.}} *)
+
+(** {1 Gate} *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+val is_enabled : unit -> bool
+
+(** {1 Recorders} *)
+
+type t
+
+val default_capacity : int
+(** 512 points per (series, labels) key. *)
+
+val create : ?capacity:int -> unit -> t
+
+val root : t
+(** The process-wide default recorder; the CLI exports it for
+    [--series-out]. *)
+
+val current : unit -> t
+val with_current : t -> (unit -> 'a) -> 'a
+val silenced : (unit -> 'a) -> 'a
+
+val task_buffer : unit -> t
+(** An unbounded recorder for one pool task: it never downsamples, so
+    {!merge_into} can replay its raw points and reproduce exactly the
+    sequential arrival sequence (stride decisions included). *)
+
+(** {1 Recording} *)
+
+val sample :
+  ?labels:(string * string) list ->
+  ?stable:bool ->
+  string ->
+  tick:int ->
+  float ->
+  unit
+(** Record one point of the ambient recorder's series at an explicit
+    tick. Sampling the same tick again overwrites (last write wins).
+    [stable] defaults to [true]; pass [false] for wall-clock-derived
+    values, which are excluded from {!render_stable}. No-op when the
+    recorder is disabled. *)
+
+val sample_auto :
+  ?labels:(string * string) list -> ?stable:bool -> string -> float -> unit
+(** Like {!sample} with the tick auto-assigned from the series' arrival
+    count. Auto ticks are renumbered on {!merge_into} replay, so
+    pool-buffered auto series reproduce the sequential numbering. *)
+
+val with_label : string * string -> (unit -> 'a) -> 'a
+(** Scope an extra label onto every sample recorded inside (e.g. the
+    sweep labels each cell, keeping parallel cells' series distinct). *)
+
+(** {1 Merging and downsampling} *)
+
+val merge_into : t -> t -> unit
+(** Replay [src]'s points into [dst]: keys in sorted order, points in
+    arrival order, strides aligned upward first. Replaying input-ordered
+    task buffers reproduces the sequential recording. *)
+
+val downsample : t -> unit
+(** Double every series' stride and drop the points the new stride
+    excludes — the same step overflow triggers; exposed for the
+    commutation property test. *)
+
+val reset : t -> unit
+
+(** {1 Snapshots and exporters} *)
+
+type point = { tick : int; value : float }
+
+type row = {
+  name : string;
+  labels : (string * string) list;  (** sorted by label key *)
+  stable : bool;
+  stride : int;
+  points : point list;  (** arrival order *)
+}
+
+val rows : ?stable_only:bool -> t -> row list
+(** Non-empty series sorted by (name, labels). *)
+
+val render_stable : t -> string
+(** Canonical one-line-per-series text of the stable rows — compared
+    byte-for-byte across [jobs] by the determinism wall. *)
+
+val to_jsonl : t -> string
+(** The [calm-series/v1] JSONL export: a [{"schema":"calm-series/v1"}]
+    header line, then one JSON object per series with
+    [series]/[labels]/[stable]/[stride]/[points] ([[tick, value]]
+    pairs). Validated by {!Schema_check.validate_series_jsonl}. *)
+
+(** {1 Live flight recorder} *)
+
+val set_live : ?out:out_channel -> float -> unit
+(** Enable periodic progress lines: whenever a sample lands and at least
+    [cadence] seconds passed since the last emission, print one
+    [\[live\] series n=… last=… p50=… p90=… p99=… rate=…/s eta=…] line
+    for the series that fired (rate and quantiles from the buffered
+    points, ETA against {!set_target} when one is set). A cadence of 0
+    (the default state) disables emission. *)
+
+val set_target : string -> float -> unit
+(** Expected total number of samples for a series name, used for the
+    live line's ETA; non-positive clears the target. *)

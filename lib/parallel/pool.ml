@@ -171,6 +171,11 @@ let map t f xs =
     let n = Array.length arr in
     let out = Array.make n None in
     let bufs = Array.make n None in
+    (* Per-task series buffers mirror the metric buffers (only when the
+       recorder is on — otherwise tasks skip the allocation entirely and
+       sampling is gated off anyway). *)
+    let use_series = Observe.Series.is_enabled () in
+    let sbufs = Array.make n None in
     let m = Mutex.create () in
     let next = ref 0 in
     let err = ref None in
@@ -198,6 +203,7 @@ let map t f xs =
       Mutex.unlock m
     in
     let caller = Observe.Metrics.current () in
+    let caller_series = Observe.Series.current () in
     run t (fun () ->
         let rec go () =
           match take () with
@@ -207,9 +213,15 @@ let map t f xs =
             Observe.Metrics.incr (m_worker_tasks w);
             let buf = Observe.Metrics.create () in
             bufs.(i) <- Some buf;
-            (match
-               Observe.Metrics.with_current buf (fun () -> f arr.(i))
-             with
+            let task () =
+              if use_series then begin
+                let sbuf = Observe.Series.task_buffer () in
+                sbufs.(i) <- Some sbuf;
+                Observe.Series.with_current sbuf (fun () -> f arr.(i))
+              end
+              else f arr.(i)
+            in
+            (match Observe.Metrics.with_current buf task with
             | y -> out.(i) <- Some y
             | exception e -> record_err i e);
             go ()
@@ -217,8 +229,11 @@ let map t f xs =
         go ());
     let commit_upto last =
       for i = 0 to min last (n - 1) do
-        match bufs.(i) with
+        (match bufs.(i) with
         | Some buf -> Observe.Metrics.merge_into caller buf
+        | None -> ());
+        match sbufs.(i) with
+        | Some sbuf -> Observe.Series.merge_into caller_series sbuf
         | None -> ()
       done
     in
@@ -271,6 +286,8 @@ let search t f seq =
        event index are committed, in index order, so the parallel search
        records exactly what the sequential left-to-right scan would. *)
     let bufs : (int, Observe.Metrics.t) Hashtbl.t = Hashtbl.create 64 in
+    let use_series = Observe.Series.is_enabled () in
+    let sbufs : (int, Observe.Series.t) Hashtbl.t = Hashtbl.create 64 in
     let record i ev =
       match !best with
       | Some (j, _) when j <= i -> ()
@@ -307,6 +324,7 @@ let search t f seq =
       Mutex.unlock m
     in
     let caller = Observe.Metrics.current () in
+    let caller_series = Observe.Series.current () in
     run t (fun () ->
         let rec go () =
           match take () with
@@ -314,7 +332,17 @@ let search t f seq =
           | Some (i, x, buf) ->
             let w = Domain.DLS.get worker_id in
             Observe.Metrics.incr (m_worker_tasks w);
-            (match Observe.Metrics.with_current buf (fun () -> f x) with
+            let task () =
+              if use_series then begin
+                let sbuf = Observe.Series.task_buffer () in
+                Mutex.lock m;
+                Hashtbl.replace sbufs i sbuf;
+                Mutex.unlock m;
+                Observe.Series.with_current sbuf (fun () -> f x)
+              end
+              else f x
+            in
+            (match Observe.Metrics.with_current buf task with
             | Some b -> record_locked i (Ok b)
             | None -> ()
             | exception e -> record_locked i (Error e));
@@ -323,8 +351,11 @@ let search t f seq =
         go ());
     let commit_upto last =
       for i = 0 to last do
-        match Hashtbl.find_opt bufs i with
+        (match Hashtbl.find_opt bufs i with
         | Some buf -> Observe.Metrics.merge_into caller buf
+        | None -> ());
+        match Hashtbl.find_opt sbufs i with
+        | Some sbuf -> Observe.Series.merge_into caller_series sbuf
         | None -> ()
       done
     in
